@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath the
+// experiment harnesses: event-queue throughput, SHA-256/HMAC, bignum modpow,
+// RTA, TT synthesis and the security analyzer. These quantify host-side
+// simulation capacity (how many vehicle-seconds per wall-second the fleet
+// backend can validate, Sec. 2.3/3.1).
+#include <benchmark/benchmark.h>
+
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "dse/schedulability.hpp"
+#include "security/analyzer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dynaplat;
+
+static void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int count = 0;
+    simulator.schedule_every(1, 1, [&] {
+      if (++count >= state.range(0)) simulator.stop();
+    });
+    simulator.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(10000);
+
+static void BM_Sha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+static void BM_HmacSha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> key(32, 0x11);
+  const std::vector<std::uint8_t> data(256, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+static void BM_RsaVerify512(benchmark::State& state) {
+  sim::Random rng(5);
+  const auto kp = crypto::RsaKeyPair::generate(512, rng);
+  const std::vector<std::uint8_t> msg(128, 0x5A);
+  const auto sig = crypto::rsa_sign(kp.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify512);
+
+static void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  std::vector<dse::AnalysisTask> tasks;
+  for (int i = 0; i < state.range(0); ++i) {
+    dse::AnalysisTask task;
+    task.name = "t";
+    task.period = (i + 2) * sim::kMillisecond;
+    task.deadline = task.period;
+    task.wcet = 20'000 * (i % 5 + 1);
+    task.priority = i;
+    task.deterministic = true;
+    tasks.push_back(task);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dse::response_time_analysis(tasks));
+  }
+}
+BENCHMARK(BM_ResponseTimeAnalysis)->Arg(10)->Arg(50);
+
+static void BM_TtSynthesis(benchmark::State& state) {
+  std::vector<dse::AnalysisTask> tasks;
+  for (int i = 0; i < state.range(0); ++i) {
+    dse::AnalysisTask task;
+    task.name = "t";
+    task.period = (1 << (i % 3)) * 10 * sim::kMillisecond;
+    task.deadline = task.period;
+    task.wcet = 200'000;
+    task.priority = i;
+    task.deterministic = true;
+    tasks.push_back(task);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dse::synthesize_tt_table(tasks));
+  }
+}
+BENCHMARK(BM_TtSynthesis)->Arg(5)->Arg(20);
+
+static void BM_SecurityAnalysis(benchmark::State& state) {
+  security::AttackGraph graph;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add({"c" + std::to_string(i), 0.1, i == 0, i + 1 == n});
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) graph.biconnect(i, i + 1);
+  security::SecurityAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(graph, 50));
+  }
+}
+BENCHMARK(BM_SecurityAnalysis)->Arg(10)->Arg(50);
+
+BENCHMARK_MAIN();

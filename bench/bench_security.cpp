@@ -1,0 +1,103 @@
+// E6 -- Sec. 4.1: package verification on weak ECUs vs update-master
+// delegation.
+//
+// A signed package must be verified before installation. Either the target
+// ECU does the full RSA check locally, or it hashes the binary locally and
+// delegates the signature check to the update master on the central
+// computer (one authenticated RPC). Swept over target-ECU speed and package
+// size; reported as end-to-end simulated time until the verdict.
+//
+// Expected shape: local verification on a 20-50 MIPS ECU is dominated by
+// the fixed RSA cost (hundreds of ms); delegation replaces it with a
+// network round trip + the master's fast check. The crossover sits where
+// the ECU is fast enough that RSA-local < RPC latency (~1000+ MIPS).
+#include <memory>
+
+#include "bench/common.hpp"
+#include "net/ethernet.hpp"
+#include "security/package.hpp"
+#include "security/update_master.hpp"
+
+using namespace dynaplat;
+
+namespace {
+
+struct Setup {
+  explicit Setup(std::uint64_t target_mips) {
+    medium = std::make_unique<net::EthernetSwitch>(simulator, "eth",
+                                                   net::EthernetConfig{});
+    os::EcuConfig central_config{
+        .name = "Central",
+        .cpu = {.mips = 10'000, .crypto_accelerator = true}};
+    os::EcuConfig target_config{.name = "Target",
+                                .cpu = {.mips = target_mips}};
+    central = std::make_unique<os::Ecu>(simulator, central_config,
+                                        medium.get(), 1);
+    target = std::make_unique<os::Ecu>(simulator, target_config,
+                                       medium.get(), 2);
+    central->processor().start();
+    target->processor().start();
+    central_rt = std::make_unique<middleware::ServiceRuntime>(*central);
+    target_rt = std::make_unique<middleware::ServiceRuntime>(*target);
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::EthernetSwitch> medium;
+  std::unique_ptr<os::Ecu> central, target;
+  std::unique_ptr<middleware::ServiceRuntime> central_rt, target_rt;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E6", "package verification: local vs update master "
+                      "(Sec. 4.1)");
+  sim::Random rng(20'17);
+  const auto oem = crypto::RsaKeyPair::generate(768, rng);
+  security::PackageSigner signer(oem);
+
+  bench::Table table({"ecu_mips", "pkg_KiB", "local_ms", "delegated_ms",
+                      "winner"});
+  for (std::uint64_t mips : {20ull, 100ull, 500ull, 2000ull, 10000ull}) {
+    for (std::size_t kib : {4u, 64u, 1024u, 4096u}) {
+      const auto package =
+          signer.sign("App", 1, std::vector<std::uint8_t>(kib * 1024, 0x3C));
+
+      // Local: the whole verification cost runs on the target CPU.
+      double local_ms;
+      {
+        Setup setup(mips);
+        sim::Time done_at = 0;
+        setup.target->processor().submit(
+            "verify_local",
+            security::PackageVerifier::verification_cost(package.binary.size()),
+            5, os::TaskClass::kNonDeterministic,
+            [&] { done_at = setup.simulator.now(); });
+        setup.simulator.run_until(sim::seconds(300));
+        local_ms = sim::to_ms(done_at);
+      }
+
+      // Delegated: hash locally, RPC to the master.
+      double delegated_ms;
+      {
+        Setup setup(mips);
+        security::UpdateMasterService master(*setup.central_rt, oem.pub);
+        security::UpdateMasterClient client(*setup.target_rt);
+        sim::Time done_at = 0;
+        bool verdict = false;
+        client.verify(package, [&](bool ok) {
+          verdict = ok;
+          done_at = setup.simulator.now();
+        });
+        setup.simulator.run_until(sim::seconds(300));
+        delegated_ms = sim::to_ms(done_at);
+        if (!verdict) delegated_ms = -1.0;
+      }
+
+      table.row({bench::fmt(mips), bench::fmt(kib),
+                 bench::fmt(local_ms, 1), bench::fmt(delegated_ms, 1),
+                 local_ms <= delegated_ms ? "local" : "master"});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E11 -- Sec. 2.4 + [17]: X-in-the-loop test levels.
+//
+// The same cruise-control function is validated at MiL and SiL level.
+// Reported per level and scenario: control quality (settling time,
+// overshoot, steady-state error), simulation cost (events executed, host
+// wall time) and the real-time factor (simulated seconds per host second --
+// "using the full potential of computing power of a PC").
+//
+// Expected shape: MiL and SiL agree on control quality within a few percent
+// (SiL adds one control period of transport delay); SiL costs 1-2 orders of
+// magnitude more events; both run far faster than real time, so a nightly
+// farm can run thousands of scenario-hours -- the paper's argument for
+// front-loading tests to MiL/SiL.
+#include "bench/common.hpp"
+#include "xil/testbench.hpp"
+
+using namespace dynaplat;
+
+namespace {
+
+void report(bench::Table& table, const char* level, const char* scenario,
+            const xil::CruiseResult& result, double wall_ms,
+            sim::Duration sim_duration) {
+  const double rt_factor =
+      sim::to_s(sim_duration) / (wall_ms / 1000.0);
+  table.row(
+      {level, scenario,
+       result.settling_time ? bench::fmt(sim::to_s(*result.settling_time), 2)
+                            : "never",
+       bench::fmt(result.overshoot_mps, 2),
+       bench::fmt(result.steady_state_error_mps, 3),
+       bench::fmt(result.deadline_misses), bench::fmt(result.events_executed),
+       bench::fmt(wall_ms, 1), bench::fmt(rt_factor, 0)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E11", "MiL vs SiL testing (Sec. 2.4, [17])");
+  bench::Table table({"level", "scenario", "settle_s", "overshoot_mps",
+                      "sse_mps", "misses", "events", "wall_ms",
+                      "xRealtime"});
+
+  struct Case {
+    const char* name;
+    xil::CruiseScenario scenario;
+  };
+  std::vector<Case> cases;
+  {
+    Case nominal{"nominal", {}};
+    nominal.scenario.duration = sim::seconds(60);
+    cases.push_back(nominal);
+
+    Case loaded{"bg_load", {}};
+    loaded.scenario.duration = sim::seconds(60);
+    loaded.scenario.background_load_instructions = 1'000'000;
+    cases.push_back(loaded);
+
+    Case lossy{"5pct_loss", {}};
+    lossy.scenario.duration = sim::seconds(60);
+    lossy.scenario.frame_loss_rate = 0.05;
+    cases.push_back(lossy);
+  }
+
+  for (const Case& c : cases) {
+    {
+      bench::Stopwatch stopwatch;
+      const auto result = xil::run_mil(c.scenario);
+      report(table, "MiL", c.name, result, stopwatch.elapsed_ms(),
+             c.scenario.duration);
+    }
+    {
+      bench::Stopwatch stopwatch;
+      const auto result = xil::run_sil(c.scenario);
+      report(table, "SiL", c.name, result, stopwatch.elapsed_ms(),
+             c.scenario.duration);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment benches (E1..E12).
+//
+// Each bench binary regenerates one table/figure of EXPERIMENTS.md as a
+// tab-separated table on stdout, plus a short header naming the experiment.
+// Wall-clock helpers measure host cost where the experiment is about
+// analysis/synthesis cost rather than simulated time.
+#pragma once
+
+#include <chrono>
+#include <type_traits>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dynaplat::bench {
+
+/// Fixed-width tab-separated table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%s", i ? "\t" : "", columns_[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%s", i ? "\t" : "", cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Integral overload (size_t/uint64_t/int/...), kept out of the double
+/// overload's way.
+template <typename T>
+  requires std::is_integral_v<T>
+inline std::string fmt(T v) {
+  return std::to_string(v);
+}
+
+/// Host wall-clock stopwatch (for analysis-cost experiments).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const char* experiment, const char* title) {
+  std::printf("### %s -- %s\n", experiment, title);
+}
+
+}  // namespace dynaplat::bench

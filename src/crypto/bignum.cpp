@@ -1,0 +1,365 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dynaplat::crypto {
+
+BigNum::BigNum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(const std::vector<std::uint8_t>& be) {
+  BigNum r;
+  r.limbs_.assign((be.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    const std::size_t byte_from_lsb = be.size() - 1 - i;
+    r.limbs_[byte_from_lsb / 4] |= std::uint32_t(be[i])
+                                   << (8 * (byte_from_lsb % 4));
+  }
+  r.trim();
+  return r;
+}
+
+BigNum BigNum::from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> bytes;
+  std::string h = hex;
+  if (h.size() % 2) h.insert(h.begin(), '0');
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    throw std::invalid_argument("bad hex digit");
+  };
+  for (std::size_t i = 0; i + 1 < h.size() + 1; i += 2) {
+    bytes.push_back(static_cast<std::uint8_t>((nibble(h[i]) << 4) |
+                                              nibble(h[i + 1])));
+  }
+  return from_bytes(bytes);
+}
+
+std::vector<std::uint8_t> BigNum::to_bytes() const {
+  const std::size_t bits = bit_length();
+  return to_bytes(bits == 0 ? 1 : (bits + 7) / 8);
+}
+
+std::vector<std::uint8_t> BigNum::to_bytes(std::size_t size) const {
+  std::vector<std::uint8_t> out(size, 0);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t byte_from_lsb = size - 1 - i;
+    const std::size_t limb = byte_from_lsb / 4;
+    if (limb < limbs_.size()) {
+      out[i] = static_cast<std::uint8_t>(limbs_[limb] >>
+                                         (8 * (byte_from_lsb % 4)));
+    }
+  }
+  return out;
+}
+
+std::string BigNum::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto b : to_bytes()) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  // Strip leading zero nibble if present.
+  if (out.size() > 1 && out[0] == '0') out.erase(out.begin());
+  return out;
+}
+
+std::size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+bool operator==(const BigNum& a, const BigNum& b) {
+  return a.limbs_ == b.limbs_;
+}
+
+bool operator<(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+bool operator<=(const BigNum& a, const BigNum& b) { return !(b < a); }
+
+BigNum operator+(const BigNum& a, const BigNum& b) {
+  BigNum r;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    r.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  r.limbs_[n] = static_cast<std::uint32_t>(carry);
+  r.trim();
+  return r;
+}
+
+BigNum operator-(const BigNum& a, const BigNum& b) {
+  assert(b <= a && "BigNum subtraction underflow");
+  BigNum r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = std::int64_t(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t(1) << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  r.trim();
+  return r;
+}
+
+BigNum operator*(const BigNum& a, const BigNum& b) {
+  if (a.is_zero() || b.is_zero()) return BigNum();
+  BigNum r;
+  r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = std::uint64_t(a.limbs_[i]) * b.limbs_[j] +
+                          r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = std::uint64_t(r.limbs_[k]) + carry;
+      r.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+BigNum BigNum::shifted_left(std::size_t bits) const {
+  if (is_zero()) return BigNum();
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigNum r;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift) {
+      r.limbs_[i + limb_shift + 1] |=
+          static_cast<std::uint32_t>(std::uint64_t(limbs_[i]) >>
+                                     (32 - bit_shift));
+    }
+  }
+  r.trim();
+  return r;
+}
+
+BigNum BigNum::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  BigNum r;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+    r.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      r.limbs_[i] |= static_cast<std::uint32_t>(
+          std::uint64_t(limbs_[i + limb_shift + 1]) << (32 - bit_shift));
+    }
+  }
+  r.trim();
+  return r;
+}
+
+void BigNum::div_mod(const BigNum& a, const BigNum& b, BigNum& quotient,
+                     BigNum& remainder) {
+  if (b.is_zero()) throw std::domain_error("BigNum division by zero");
+  quotient = BigNum();
+  remainder = BigNum();
+  if (a < b) {
+    remainder = a;
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Short division by a single limb.
+    const std::uint64_t d = b.limbs_[0];
+    quotient.limbs_.assign(a.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.trim();
+    if (rem) remainder.limbs_.push_back(static_cast<std::uint32_t>(rem));
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm 4.3.1-D with 32-bit limbs.
+  // Normalize so the divisor's top limb has its msb set.
+  int shift = 0;
+  for (std::uint32_t top = b.limbs_.back(); !(top & 0x80000000u); top <<= 1) {
+    ++shift;
+  }
+  const BigNum u = a.shifted_left(shift);
+  const BigNum v = b.shifted_left(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // u[m+n] slot
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+  quotient.limbs_.assign(m + 1, 0);
+
+  const std::uint64_t base = std::uint64_t(1) << 32;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat = (un[j+n]*base + un[j+n-1]) / vn[n-1].
+    std::uint64_t num = (std::uint64_t(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= base ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply and subtract: un[j..j+n] -= qhat * vn.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t =
+          std::int64_t(un[i + j]) - borrow - std::int64_t(p & 0xFFFFFFFFu);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t =
+        std::int64_t(un[j + n]) - borrow - std::int64_t(carry);
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large; add back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s = std::uint64_t(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  quotient.trim();
+
+  remainder.limbs_.assign(un.begin(), un.begin() + static_cast<long>(n));
+  remainder.trim();
+  remainder = remainder.shifted_right(static_cast<std::size_t>(shift));
+}
+
+BigNum operator%(const BigNum& a, const BigNum& m) {
+  BigNum q, r;
+  BigNum::div_mod(a, m, q, r);
+  return r;
+}
+
+BigNum operator/(const BigNum& a, const BigNum& b) {
+  BigNum q, r;
+  BigNum::div_mod(a, b, q, r);
+  return q;
+}
+
+BigNum BigNum::mod_pow(const BigNum& e, const BigNum& m) const {
+  assert(!m.is_zero());
+  BigNum result(1);
+  BigNum base = *this % m;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = (result * base) % m;
+    base = (base * base) % m;
+  }
+  return result % m;
+}
+
+BigNum BigNum::gcd(BigNum a, BigNum b) {
+  while (!b.is_zero()) {
+    BigNum r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigNum BigNum::mod_inverse(const BigNum& m) const {
+  // Extended Euclid over non-negative values: track coefficients of `this`
+  // modulo m using (sign, magnitude) pairs folded into mod-m arithmetic.
+  BigNum r0 = m, r1 = *this % m;
+  BigNum t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    BigNum q = r0 / r1;
+    BigNum r2 = r0 - q * r1;
+    // t2 = t0 - q*t1 with signs.
+    BigNum qt = q * t1;
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 < qt) {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      } else {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+  }
+  if (!(r0 == BigNum(1))) return BigNum();  // not invertible
+  BigNum inv = t0 % m;
+  if (t0_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+}  // namespace dynaplat::crypto

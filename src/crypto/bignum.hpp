@@ -1,0 +1,85 @@
+// Arbitrary-precision unsigned integers for RSA.
+//
+// A minimal, correct bignum sufficient for 2048-bit modular exponentiation,
+// Miller-Rabin primality testing and RSA key generation. Limbs are 32-bit so
+// products fit in 64-bit intermediates portably.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynaplat::crypto {
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t v);
+
+  /// Parses big-endian bytes (as found in signatures / moduli on the wire).
+  static BigNum from_bytes(const std::vector<std::uint8_t>& be);
+  /// Parses a hex string (no 0x prefix).
+  static BigNum from_hex(const std::string& hex);
+  /// Uniform random value with exactly `bits` bits (msb set), from caller RNG
+  /// words supplied by `next_word`.
+  template <typename Rng>
+  static BigNum random_bits(std::size_t bits, Rng&& next_word) {
+    BigNum r;
+    const std::size_t limbs = (bits + 31) / 32;
+    r.limbs_.resize(limbs);
+    for (auto& limb : r.limbs_) {
+      limb = static_cast<std::uint32_t>(next_word());
+    }
+    const std::size_t top_bit = (bits - 1) % 32;
+    r.limbs_.back() &= (top_bit == 31) ? 0xFFFFFFFFu
+                                       : ((1u << (top_bit + 1)) - 1);
+    r.limbs_.back() |= (1u << top_bit);
+    r.trim();
+    return r;
+  }
+
+  /// Big-endian byte rendering, zero-padded/truncated to `size` bytes.
+  std::vector<std::uint8_t> to_bytes(std::size_t size) const;
+  std::vector<std::uint8_t> to_bytes() const;  // minimal length
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  // Value semantics; all operations are non-mutating.
+  friend BigNum operator+(const BigNum& a, const BigNum& b);
+  friend BigNum operator-(const BigNum& a, const BigNum& b);  // requires a>=b
+  friend BigNum operator*(const BigNum& a, const BigNum& b);
+  friend BigNum operator%(const BigNum& a, const BigNum& m);
+  friend BigNum operator/(const BigNum& a, const BigNum& b);
+  friend bool operator==(const BigNum& a, const BigNum& b);
+  friend bool operator<(const BigNum& a, const BigNum& b);
+  friend bool operator<=(const BigNum& a, const BigNum& b);
+  friend bool operator>(const BigNum& a, const BigNum& b) { return b < a; }
+  friend bool operator!=(const BigNum& a, const BigNum& b) {
+    return !(a == b);
+  }
+
+  BigNum shifted_left(std::size_t bits) const;
+  BigNum shifted_right(std::size_t bits) const;
+
+  /// (this ^ e) mod m via square-and-multiply. m must be > 1.
+  BigNum mod_pow(const BigNum& e, const BigNum& m) const;
+
+  /// Modular inverse via extended Euclid; returns zero BigNum if gcd != 1.
+  BigNum mod_inverse(const BigNum& m) const;
+
+  static BigNum gcd(BigNum a, BigNum b);
+
+ private:
+  void trim();
+  static void div_mod(const BigNum& a, const BigNum& b, BigNum& quotient,
+                      BigNum& remainder);
+
+  // Little-endian limbs; empty == zero. Invariant: no trailing zero limb.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace dynaplat::crypto

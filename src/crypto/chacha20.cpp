@@ -1,0 +1,110 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace dynaplat::crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+ChaCha20Drbg::ChaCha20Drbg(const std::array<std::uint8_t, 32>& seed) {
+  // "expand 32-byte k" constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = std::uint32_t(seed[i * 4]) |
+                    (std::uint32_t(seed[i * 4 + 1]) << 8) |
+                    (std::uint32_t(seed[i * 4 + 2]) << 16) |
+                    (std::uint32_t(seed[i * 4 + 3]) << 24);
+  }
+  state_[12] = 0;  // block counter (low)
+  state_[13] = 0;  // block counter (high)
+  state_[14] = 0;  // nonce
+  state_[15] = 0;
+}
+
+ChaCha20Drbg::ChaCha20Drbg(std::uint64_t seed)
+    : ChaCha20Drbg([seed] {
+        std::array<std::uint8_t, 32> key{};
+        std::uint64_t x = seed;
+        for (int i = 0; i < 4; ++i) {
+          // splitmix64 expansion of the 64-bit seed into key material.
+          x += 0x9E3779B97F4A7C15ULL;
+          std::uint64_t z = x;
+          z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+          z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+          z ^= z >> 31;
+          std::memcpy(key.data() + i * 8, &z, 8);
+        }
+        return key;
+      }()) {}
+
+void ChaCha20Drbg::refill() {
+  state_[12] = static_cast<std::uint32_t>(counter_);
+  state_[13] = static_cast<std::uint32_t>(counter_ >> 32);
+  ++counter_;
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = x[i] + state_[i];
+    block_[i * 4] = static_cast<std::uint8_t>(word);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  block_pos_ = 0;
+}
+
+void ChaCha20Drbg::generate(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (block_pos_ == block_.size()) refill();
+    const std::size_t take = std::min(len, block_.size() - block_pos_);
+    std::memcpy(out, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20Drbg::generate(std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+std::uint64_t ChaCha20Drbg::next_u64() {
+  std::uint8_t buf[8];
+  generate(buf, 8);
+  std::uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+}  // namespace dynaplat::crypto

@@ -1,0 +1,37 @@
+// ChaCha20 block function (RFC 8439) used as a deterministic random byte
+// generator (DRBG) for session keys, nonces and challenges.
+//
+// In a vehicle this seed material would come from an HSM TRNG; in the
+// simulation the DRBG is seeded from the scenario seed so security handshakes
+// are reproducible (DESIGN.md determinism contract).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dynaplat::crypto {
+
+class ChaCha20Drbg {
+ public:
+  /// Seeds from 32 bytes of key material.
+  explicit ChaCha20Drbg(const std::array<std::uint8_t, 32>& seed);
+  /// Convenience: expands a 64-bit seed via repeated mixing.
+  explicit ChaCha20Drbg(std::uint64_t seed);
+
+  /// Fills `out` with pseudo-random bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+  std::vector<std::uint8_t> generate(std::size_t len);
+
+  std::uint64_t next_u64();
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // empty
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace dynaplat::crypto

@@ -1,0 +1,141 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+namespace dynaplat::crypto {
+namespace {
+
+// Small-prime trial division sieve to cheaply reject most candidates.
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103,
+    107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+    179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241,
+    251, 257, 263, 269, 271, 277, 281, 283, 293};
+
+bool divisible_by_small_prime(const BigNum& n) {
+  for (std::uint32_t p : kSmallPrimes) {
+    if ((n % BigNum(p)).is_zero() && !(n == BigNum(p))) return true;
+  }
+  return false;
+}
+
+BigNum random_prime(std::size_t bits, sim::Random& rng) {
+  for (;;) {
+    BigNum candidate =
+        BigNum::random_bits(bits, [&rng] { return rng.next_u64(); });
+    // Force odd.
+    candidate = candidate + BigNum(candidate.is_odd() ? 0 : 1);
+    if (divisible_by_small_prime(candidate)) continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `len` bytes:
+// 0x00 0x01 FF..FF 0x00 | DigestInfo(SHA-256) | digest
+std::vector<std::uint8_t> emsa_encode(const Digest256& digest,
+                                      std::size_t len) {
+  static const std::uint8_t kSha256DigestInfo[] = {
+      0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+      0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + digest.size();
+  if (len < t_len + 11) throw std::invalid_argument("RSA modulus too small");
+  std::vector<std::uint8_t> em(len, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[len - t_len - 1] = 0x00;
+  std::size_t pos = len - t_len;
+  for (auto b : kSha256DigestInfo) em[pos++] = b;
+  for (auto b : digest) em[pos++] = b;
+  return em;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigNum& n, sim::Random& rng, int rounds) {
+  if (n < BigNum(2)) return false;
+  if (n == BigNum(2) || n == BigNum(3)) return true;
+  if (!n.is_odd()) return false;
+
+  // n - 1 = d * 2^r with d odd.
+  const BigNum n_minus_1 = n - BigNum(1);
+  BigNum d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++r;
+  }
+
+  const std::size_t bits = n.bit_length();
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2]; sampling `bits-1` random bits then reducing is
+    // fine for a probabilistic test.
+    BigNum a = BigNum::random_bits(bits > 2 ? bits - 1 : 2,
+                                   [&rng] { return rng.next_u64(); }) %
+               n_minus_1;
+    if (a < BigNum(2)) a = BigNum(2);
+    BigNum x = a.mod_pow(d, n);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+RsaKeyPair RsaKeyPair::generate(std::size_t bits, sim::Random& rng) {
+  if (bits < 128) throw std::invalid_argument("RSA modulus below 128 bits");
+  const BigNum e(65537);
+  for (;;) {
+    const BigNum p = random_prime(bits / 2, rng);
+    const BigNum q = random_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    const BigNum n = p * q;
+    const BigNum phi = (p - BigNum(1)) * (q - BigNum(1));
+    if (!(BigNum::gcd(e, phi) == BigNum(1))) continue;
+    const BigNum d = e.mod_inverse(phi);
+    if (d.is_zero()) continue;
+    RsaKeyPair kp;
+    kp.pub = RsaPublicKey{n, e};
+    kp.priv = RsaPrivateKey{n, d};
+    return kp;
+  }
+}
+
+std::vector<std::uint8_t> rsa_sign_digest(const RsaPrivateKey& key,
+                                          const Digest256& digest) {
+  const std::size_t k = key.modulus_bytes();
+  const BigNum em = BigNum::from_bytes(emsa_encode(digest, k));
+  return em.mod_pow(key.d, key.n).to_bytes(k);
+}
+
+bool rsa_verify_digest(const RsaPublicKey& key, const Digest256& digest,
+                       const std::vector<std::uint8_t>& signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigNum s = BigNum::from_bytes(signature);
+  if (!(s < key.n)) return false;
+  const std::vector<std::uint8_t> em = s.mod_pow(key.e, key.n).to_bytes(k);
+  const std::vector<std::uint8_t> expected = emsa_encode(digest, k);
+  // Not secret data; plain comparison is fine for verification.
+  return em == expected;
+}
+
+std::vector<std::uint8_t> rsa_sign(const RsaPrivateKey& key,
+                                   const std::vector<std::uint8_t>& message) {
+  return rsa_sign_digest(key, Sha256::digest(message));
+}
+
+bool rsa_verify(const RsaPublicKey& key,
+                const std::vector<std::uint8_t>& message,
+                const std::vector<std::uint8_t>& signature) {
+  return rsa_verify_digest(key, Sha256::digest(message), signature);
+}
+
+}  // namespace dynaplat::crypto

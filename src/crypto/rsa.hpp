@@ -1,0 +1,60 @@
+// RSA signatures for package security (paper Sec. 4.1).
+//
+// Textbook-correct RSASSA with PKCS#1 v1.5-style padding over SHA-256.
+// Key generation uses Miller-Rabin with a caller-supplied deterministic RNG,
+// so test keys are reproducible. Because on-target key generation is never
+// needed in a vehicle (keys are provisioned), tests and benches use the
+// pre-generated vectors from test_keys.hpp where speed matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/random.hpp"
+
+namespace dynaplat::crypto {
+
+struct RsaPublicKey {
+  BigNum n;  // modulus
+  BigNum e;  // public exponent (65537)
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  BigNum n;
+  BigNum d;  // private exponent
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+
+  /// Generates a fresh key pair with modulus of `bits` bits. Deterministic in
+  /// the RNG state. Intended for tests with small sizes (256-768 bits);
+  /// larger sizes work but take seconds.
+  static RsaKeyPair generate(std::size_t bits, sim::Random& rng);
+};
+
+/// Miller-Rabin probabilistic primality test, `rounds` random bases.
+bool is_probable_prime(const BigNum& n, sim::Random& rng, int rounds = 24);
+
+/// Signs SHA-256(message) with PKCS#1 v1.5 EMSA padding. Returns a signature
+/// of exactly modulus_bytes() bytes.
+std::vector<std::uint8_t> rsa_sign(const RsaPrivateKey& key,
+                                   const std::vector<std::uint8_t>& message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key,
+                const std::vector<std::uint8_t>& message,
+                const std::vector<std::uint8_t>& signature);
+
+/// Signs a precomputed digest (used when the payload was hashed streamily).
+std::vector<std::uint8_t> rsa_sign_digest(const RsaPrivateKey& key,
+                                          const Digest256& digest);
+bool rsa_verify_digest(const RsaPublicKey& key, const Digest256& digest,
+                       const std::vector<std::uint8_t>& signature);
+
+}  // namespace dynaplat::crypto

@@ -1,0 +1,64 @@
+// SHA-256 (FIPS 180-4) — from-scratch implementation.
+//
+// Package integrity (Sec. 4.1), HMAC session authentication (Sec. 4.2) and
+// RSA signatures all hash through this code path. The implementation is a
+// straightforward portable Merkle-Damgard compression loop; dynaplat models
+// its *cost* on weak ECUs separately via os::CpuModel cycle accounting, so
+// this code only needs to be correct, not fast.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynaplat::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+  /// Absorbs `len` bytes.
+  void update(const void* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+  void update(const std::string& s) { update(s.data(), s.size()); }
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without reset().
+  Digest256 finish();
+  void reset();
+
+  /// One-shot convenience.
+  static Digest256 digest(const void* data, std::size_t len);
+  static Digest256 digest(const std::vector<std::uint8_t>& data) {
+    return digest(data.data(), data.size());
+  }
+  static Digest256 digest(const std::string& s) {
+    return digest(s.data(), s.size());
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Digest256& d);
+
+/// HMAC-SHA256 (RFC 2104).
+Digest256 hmac_sha256(const std::vector<std::uint8_t>& key, const void* data,
+                      std::size_t len);
+Digest256 hmac_sha256(const std::vector<std::uint8_t>& key,
+                      const std::vector<std::uint8_t>& data);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+}  // namespace dynaplat::crypto

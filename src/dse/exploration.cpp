@@ -1,0 +1,293 @@
+#include "dse/exploration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dse/schedulability.hpp"
+
+namespace dynaplat::dse {
+
+Explorer::Explorer(const model::SystemModel& system_model,
+                   CostWeights weights)
+    : model_(system_model), weights_(weights) {
+  verifier_.set_schedulability_hook(make_verifier_hook());
+  for (const auto& app : model_.apps()) apps_.push_back(&app);
+  for (const auto& ecu : model_.ecus()) ecus_.push_back(&ecu);
+}
+
+std::vector<std::string> Explorer::hosts_for(std::size_t app_index,
+                                             std::size_t ecu_index) const {
+  const int replicas = std::max(1, apps_[app_index]->replicas);
+  std::vector<std::string> hosts;
+  for (int r = 0; r < replicas; ++r) {
+    hosts.push_back(
+        ecus_[(ecu_index + static_cast<std::size_t>(r)) % ecus_.size()]
+            ->name);
+  }
+  return hosts;
+}
+
+model::Assignment Explorer::decode(const Genome& genome) const {
+  model::Assignment assignment;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    assignment.placement[apps_[i]->name] = hosts_for(i, genome[i]);
+  }
+  return assignment;
+}
+
+bool Explorer::feasible(const model::Assignment& assignment) const {
+  return !model::Verifier::has_errors(
+      verifier_.verify_assignment(model_, assignment));
+}
+
+double Explorer::cost(const model::Assignment& assignment) const {
+  double total = 0.0;
+  if (!feasible(assignment)) total += weights_.infeasible_penalty;
+
+  // Powered ECUs and utilization spread.
+  double max_util = 0.0;
+  double min_util = 2.0;
+  std::size_t used = 0;
+  for (const auto* ecu : ecus_) {
+    const auto apps = assignment.apps_on(ecu->name);
+    double util = 0.0;
+    for (const auto& app_name : apps) {
+      const model::AppDef* app = model_.app(app_name);
+      if (app != nullptr) util += app->utilization_on(ecu->mips);
+    }
+    if (!apps.empty()) {
+      ++used;
+      max_util = std::max(max_util, util);
+      min_util = std::min(min_util, util);
+    }
+  }
+  total += weights_.per_ecu * static_cast<double>(used);
+  if (used > 1) total += weights_.load_imbalance * (max_util - min_util);
+
+  // Communication locality: payload/period rate for cross-ECU pairs.
+  for (const auto& interface : model_.interfaces()) {
+    const model::AppDef* provider = model_.provider_of(interface.name);
+    if (provider == nullptr) continue;
+    auto provider_it = assignment.placement.find(provider->name);
+    if (provider_it == assignment.placement.end()) continue;
+    for (const model::AppDef* consumer :
+         model_.consumers_of(interface.name)) {
+      auto consumer_it = assignment.placement.find(consumer->name);
+      if (consumer_it == assignment.placement.end()) continue;
+      for (const auto& ph : provider_it->second) {
+        for (const auto& ch : consumer_it->second) {
+          if (ph == ch) continue;
+          const double period_ms =
+              interface.period > 0
+                  ? static_cast<double>(interface.period) / 1e6
+                  : 100.0;
+          total += weights_.cross_ecu_comm *
+                   static_cast<double>(interface.payload_bytes) / period_ms;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+double Explorer::genome_cost(const Genome& genome) const {
+  return cost(decode(genome));
+}
+
+ExplorationResult Explorer::exhaustive(std::uint64_t max_candidates) {
+  ExplorationResult result;
+  result.strategy = "exhaustive";
+  if (apps_.empty() || ecus_.empty()) return result;
+
+  Genome genome(apps_.size(), 0);
+  Genome best_genome;
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    ++result.candidates_evaluated;
+    const double c = genome_cost(genome);
+    if (c < best) {
+      best = c;
+      best_genome = genome;
+    }
+    if (result.candidates_evaluated >= max_candidates) break;
+    // Odometer increment.
+    std::size_t digit = 0;
+    while (digit < genome.size()) {
+      if (++genome[digit] < ecus_.size()) break;
+      genome[digit] = 0;
+      ++digit;
+    }
+    if (digit == genome.size()) break;
+  }
+  if (!best_genome.empty()) {
+    result.assignment = decode(best_genome);
+    result.cost = best;
+    result.feasible = best < weights_.infeasible_penalty;
+  }
+  return result;
+}
+
+ExplorationResult Explorer::greedy() {
+  ExplorationResult result;
+  result.strategy = "greedy";
+  if (apps_.empty() || ecus_.empty()) return result;
+
+  // Apps by decreasing worst-case utilization (on the slowest ECU).
+  std::uint64_t min_mips = ecus_[0]->mips;
+  for (const auto* ecu : ecus_) min_mips = std::min(min_mips, ecu->mips);
+  std::vector<std::size_t> order(apps_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return apps_[a]->utilization_on(min_mips) >
+           apps_[b]->utilization_on(min_mips);
+  });
+
+  Genome genome(apps_.size(), 0);
+  model::Assignment partial;
+  for (std::size_t app_index : order) {
+    bool placed = false;
+    for (std::size_t e = 0; e < ecus_.size(); ++e) {
+      model::Assignment trial = partial;
+      trial.placement[apps_[app_index]->name] = hosts_for(app_index, e);
+      ++result.candidates_evaluated;
+      if (feasible(trial)) {
+        partial = std::move(trial);
+        genome[app_index] = e;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Leave it on ECU 0; the final cost carries the penalty.
+      partial.placement[apps_[app_index]->name] = hosts_for(app_index, 0);
+      genome[app_index] = 0;
+    }
+  }
+  result.assignment = decode(genome);
+  result.cost = cost(result.assignment);
+  result.feasible = result.cost < weights_.infeasible_penalty;
+  return result;
+}
+
+ExplorationResult Explorer::simulated_annealing(std::uint64_t iterations,
+                                                std::uint64_t seed) {
+  ExplorationResult result = greedy();
+  result.strategy = "annealing";
+  if (apps_.empty() || ecus_.empty()) return result;
+
+  sim::Random rng(seed);
+  Genome current(apps_.size(), 0);
+  // Recover genome from the greedy assignment.
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const auto it = result.assignment.placement.find(apps_[i]->name);
+    if (it != result.assignment.placement.end() && !it->second.empty()) {
+      for (std::size_t e = 0; e < ecus_.size(); ++e) {
+        if (ecus_[e]->name == it->second.front()) {
+          current[i] = e;
+          break;
+        }
+      }
+    }
+  }
+  double current_cost = genome_cost(current);
+  Genome best = current;
+  double best_cost = current_cost;
+
+  double temperature = std::max(1.0, current_cost * 0.1);
+  const double cooling = std::pow(0.001 / temperature,
+                                  1.0 / static_cast<double>(iterations));
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    Genome neighbour = current;
+    const auto app = static_cast<std::size_t>(
+        rng.next_below(neighbour.size()));
+    neighbour[app] = static_cast<std::size_t>(rng.next_below(ecus_.size()));
+    ++result.candidates_evaluated;
+    const double neighbour_cost = genome_cost(neighbour);
+    const double delta = neighbour_cost - current_cost;
+    if (delta <= 0 || rng.chance(std::exp(-delta / temperature))) {
+      current = std::move(neighbour);
+      current_cost = neighbour_cost;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+    temperature *= cooling;
+  }
+  result.assignment = decode(best);
+  result.cost = best_cost;
+  result.feasible = best_cost < weights_.infeasible_penalty;
+  return result;
+}
+
+ExplorationResult Explorer::genetic(std::size_t population,
+                                    std::size_t generations,
+                                    std::uint64_t seed) {
+  ExplorationResult result;
+  result.strategy = "genetic";
+  if (apps_.empty() || ecus_.empty()) return result;
+
+  sim::Random rng(seed);
+  std::vector<Genome> pool(population, Genome(apps_.size(), 0));
+  for (auto& genome : pool) {
+    for (auto& gene : genome) {
+      gene = static_cast<std::size_t>(rng.next_below(ecus_.size()));
+    }
+  }
+  std::vector<double> fitness(population);
+  auto evaluate = [&](const Genome& g) {
+    ++result.candidates_evaluated;
+    return genome_cost(g);
+  };
+  for (std::size_t i = 0; i < population; ++i) fitness[i] = evaluate(pool[i]);
+
+  Genome best = pool[0];
+  double best_cost = fitness[0];
+  for (std::size_t i = 1; i < population; ++i) {
+    if (fitness[i] < best_cost) {
+      best = pool[i];
+      best_cost = fitness[i];
+    }
+  }
+
+  for (std::size_t gen = 0; gen < generations; ++gen) {
+    std::vector<Genome> next;
+    std::vector<double> next_fitness;
+    next.reserve(population);
+    // Elitism: keep the champion.
+    next.push_back(best);
+    next_fitness.push_back(best_cost);
+    while (next.size() < population) {
+      auto tournament = [&] {
+        const auto a = static_cast<std::size_t>(rng.next_below(population));
+        const auto b = static_cast<std::size_t>(rng.next_below(population));
+        return fitness[a] <= fitness[b] ? a : b;
+      };
+      const Genome& parent_a = pool[tournament()];
+      const Genome& parent_b = pool[tournament()];
+      Genome child(apps_.size());
+      for (std::size_t g = 0; g < child.size(); ++g) {
+        child[g] = rng.chance(0.5) ? parent_a[g] : parent_b[g];
+        if (rng.chance(0.05)) {
+          child[g] = static_cast<std::size_t>(rng.next_below(ecus_.size()));
+        }
+      }
+      const double child_cost = evaluate(child);
+      if (child_cost < best_cost) {
+        best = child;
+        best_cost = child_cost;
+      }
+      next.push_back(std::move(child));
+      next_fitness.push_back(child_cost);
+    }
+    pool = std::move(next);
+    fitness = std::move(next_fitness);
+  }
+  result.assignment = decode(best);
+  result.cost = best_cost;
+  result.feasible = best_cost < weights_.infeasible_penalty;
+  return result;
+}
+
+}  // namespace dynaplat::dse

@@ -1,0 +1,81 @@
+// Design space exploration over app-to-ECU mappings (paper Sec. 2.3; related
+// work [9], [14]).
+//
+// The explorer searches concrete deployments of a modeled application set
+// onto a modeled hardware architecture, scoring each candidate with the
+// verification engine (hard feasibility) and a soft cost that rewards ECU
+// consolidation, load balance and communication locality. Four strategies
+// with very different cost/quality trade-offs are provided and compared in
+// E5: exhaustive, greedy first-fit decreasing, simulated annealing, and a
+// genetic algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "model/verifier.hpp"
+#include "sim/random.hpp"
+
+namespace dynaplat::dse {
+
+struct ExplorationResult {
+  bool feasible = false;
+  model::Assignment assignment;
+  double cost = 0.0;
+  std::uint64_t candidates_evaluated = 0;
+  std::string strategy;
+};
+
+struct CostWeights {
+  double per_ecu = 10.0;         ///< each powered ECU (consolidation pull)
+  double load_imbalance = 5.0;   ///< max - min ECU utilization
+  double cross_ecu_comm = 1.0;   ///< per cross-ECU interface byte/ms
+  double infeasible_penalty = 1e6;
+};
+
+class Explorer {
+ public:
+  Explorer(const model::SystemModel& system_model, CostWeights weights = {});
+
+  /// Soft cost of a concrete assignment (adds the penalty when the
+  /// verification engine reports errors).
+  double cost(const model::Assignment& assignment) const;
+  bool feasible(const model::Assignment& assignment) const;
+
+  /// Enumerates every mapping (|ecus|^|apps| candidates) — exact but only
+  /// viable for small systems.
+  ExplorationResult exhaustive(std::uint64_t max_candidates = 2'000'000);
+
+  /// Apps by decreasing utilization onto the first ECU where the partial
+  /// assignment stays feasible.
+  ExplorationResult greedy();
+
+  /// Simulated annealing from the greedy seed.
+  ExplorationResult simulated_annealing(std::uint64_t iterations = 20'000,
+                                        std::uint64_t seed = 1);
+
+  /// Genetic algorithm: tournament selection, uniform crossover, point
+  /// mutation.
+  ExplorationResult genetic(std::size_t population = 32,
+                            std::size_t generations = 200,
+                            std::uint64_t seed = 1);
+
+ private:
+  using Genome = std::vector<std::size_t>;  // app index -> ecu index
+
+  model::Assignment decode(const Genome& genome) const;
+  double genome_cost(const Genome& genome) const;
+  /// Apps with replicas occupy `replicas` consecutive ECUs starting at the
+  /// gene value (wrapping), so every genome stays replica-complete.
+  std::vector<std::string> hosts_for(std::size_t app_index,
+                                     std::size_t ecu_index) const;
+
+  const model::SystemModel& model_;
+  CostWeights weights_;
+  model::Verifier verifier_;
+  std::vector<const model::AppDef*> apps_;
+  std::vector<const model::EcuDef*> ecus_;
+};
+
+}  // namespace dynaplat::dse

@@ -1,0 +1,98 @@
+#include "middleware/payload.hpp"
+
+#include <cstring>
+
+namespace dynaplat::middleware {
+
+void PayloadWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PayloadWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PayloadWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void PayloadWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void PayloadWriter::blob(const std::vector<std::uint8_t>& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  bytes_.insert(bytes_.end(), b.begin(), b.end());
+}
+
+void PayloadWriter::raw(const std::uint8_t* data, std::size_t len) {
+  bytes_.insert(bytes_.end(), data, data + len);
+}
+
+std::uint8_t PayloadReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint16_t PayloadReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      bytes_[pos_] | (bytes_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(bytes_.begin() + static_cast<long>(pos_),
+                bytes_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::uint8_t> PayloadReader::blob() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::vector<std::uint8_t> b(bytes_.begin() + static_cast<long>(pos_),
+                              bytes_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return b;
+}
+
+}  // namespace dynaplat::middleware

@@ -1,0 +1,69 @@
+// Byte-level serialization for middleware messages.
+//
+// The paper moves from "signals defined by bit offsets" to "complex objects,
+// defined by complex data types" (Sec. 2.2). PayloadWriter/PayloadReader are
+// the explicit little-endian wire codec those objects serialize through; all
+// message headers and user data use it, so a payload is identical regardless
+// of host endianness.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dynaplat::middleware {
+
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed (u32) string.
+  void str(const std::string& s);
+  /// Length-prefixed (u32) byte blob.
+  void blob(const std::vector<std::uint8_t>& b);
+  /// Raw bytes, no length prefix.
+  void raw(const std::uint8_t* data, std::size_t len);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Throws std::out_of_range on truncated input — a malformed message must
+/// never read past its buffer (robustness against corrupted frames).
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> blob();
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ >= bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::out_of_range("payload truncated");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dynaplat::middleware

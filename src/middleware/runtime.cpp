@@ -1,0 +1,520 @@
+#include "middleware/runtime.hpp"
+
+#include <memory>
+
+#include <cassert>
+
+namespace dynaplat::middleware {
+
+ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
+    : ecu_(ecu),
+      config_(config),
+      transport_([&ecu](net::Frame frame) { ecu.send(std::move(frame)); },
+                 ecu.medium() != nullptr ? ecu.medium()->max_payload()
+                                         : 1500) {
+  ecu_.set_receive_handler(
+      [this](const net::Frame& frame) { transport_.on_frame(frame); });
+  transport_.set_handler(
+      [this](net::NodeId src, std::vector<std::uint8_t> message) {
+        on_message(src, std::move(message));
+      });
+}
+
+std::uint32_t ServiceRuntime::flow_for(ServiceId service,
+                                       ElementId element) const {
+  return (std::uint32_t(service) << 8) ^ element;
+}
+
+void ServiceRuntime::charge(std::size_t bytes, std::function<void()> fn) {
+  if (!config_.charge_cpu || ecu_.failed() ||
+      ecu_.processor().halted()) {
+    if (!ecu_.failed()) fn();
+    return;
+  }
+  const std::uint64_t instructions =
+      config_.instructions_per_message +
+      config_.instructions_per_kib * (bytes / 1024);
+  ecu_.processor().submit("mw", instructions, config_.service_priority,
+                          os::TaskClass::kNonDeterministic, std::move(fn));
+}
+
+void ServiceRuntime::send_message(net::NodeId dst, MessageHeader header,
+                                  const std::vector<std::uint8_t>& body,
+                                  net::Priority priority) {
+  header.sender = ecu_.node_id();
+  if (tagger_) header.auth_tag = tagger_(dst, header, body);
+  auto wire = header.encode(body);
+  const ServiceId service = header.service;
+  const ElementId element = header.element;
+  charge(wire.size(), [this, dst, priority, service, element,
+                       wire = std::move(wire)]() mutable {
+    transport_.send(dst, priority, flow_for(service, element), wire);
+  });
+}
+
+// --- Discovery ----------------------------------------------------------------
+
+void ServiceRuntime::offer(ServiceId service, std::uint32_t version) {
+  offered_[service] = version;
+  providers_[service] = ecu_.node_id();
+  provider_versions_[service] = version;
+  MessageHeader header;
+  header.type = MsgType::kOffer;
+  header.service = service;
+  header.session = version;
+  send_message(net::kBroadcast, header, {}, net::kPriorityHighest);
+  flush_parked(service);
+}
+
+void ServiceRuntime::stop_offer(ServiceId service) {
+  offered_.erase(service);
+  if (providers_.count(service) &&
+      providers_[service] == ecu_.node_id()) {
+    providers_.erase(service);
+    provider_versions_.erase(service);
+  }
+}
+
+std::optional<net::NodeId> ServiceRuntime::provider_of(
+    ServiceId service) const {
+  auto it = providers_.find(service);
+  if (it == providers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> ServiceRuntime::provider_version(
+    ServiceId service) const {
+  auto it = provider_versions_.find(service);
+  if (it == provider_versions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ServiceRuntime::require_version(ServiceId service,
+                                     std::uint32_t min_version) {
+  required_versions_[service] = min_version;
+  // Forget an already-bound provider that is too old.
+  auto version = provider_versions_.find(service);
+  if (version != provider_versions_.end() &&
+      version->second < min_version) {
+    providers_.erase(service);
+    provider_versions_.erase(version);
+  }
+}
+
+void ServiceRuntime::when_provider_known(ServiceId service,
+                                         std::function<void()> work) {
+  if (providers_.count(service)) {
+    work();
+    return;
+  }
+  parked_[service].push_back(std::move(work));
+  if (find_timeouts_.count(service)) return;  // Find already outstanding
+  MessageHeader header;
+  header.type = MsgType::kFind;
+  header.service = service;
+  send_message(net::kBroadcast, header, {}, net::kPriorityHighest);
+  find_timeouts_[service] = ecu_.simulator().schedule_in(
+      config_.find_timeout, [this, service] {
+        find_timeouts_.erase(service);
+        // Provider never appeared: *run* the parked work against the
+        // still-unknown provider so callers observe the failure (an RPC's
+        // response handler fires with ok == false; a subscribe re-parks
+        // nothing and simply waits for a future Offer).
+        auto it = parked_.find(service);
+        if (it == parked_.end()) return;
+        auto work = std::move(it->second);
+        parked_.erase(it);
+        for (auto& fn : work) fn();
+      });
+}
+
+void ServiceRuntime::flush_parked(ServiceId service) {
+  auto timeout = find_timeouts_.find(service);
+  if (timeout != find_timeouts_.end()) {
+    ecu_.simulator().cancel(timeout->second);
+    find_timeouts_.erase(timeout);
+  }
+  auto it = parked_.find(service);
+  if (it == parked_.end()) return;
+  auto work = std::move(it->second);
+  parked_.erase(it);
+  for (auto& fn : work) fn();
+}
+
+// --- Events ----------------------------------------------------------------------
+
+void ServiceRuntime::subscribe(ServiceId service, ElementId event,
+                               EventHandler handler) {
+  auto& sub = subscriptions_[{service, event}];
+  sub.event_handler = std::move(handler);
+  when_provider_known(service, [this, service, event] {
+    const auto provider = provider_of(service);
+    if (!provider) return;
+    auto& sub = subscriptions_[{service, event}];
+    if (*provider == ecu_.node_id()) {
+      sub.subscribed_remotely = true;  // local: nothing to send
+      return;
+    }
+    MessageHeader header;
+    header.type = MsgType::kSubscribe;
+    header.service = service;
+    header.element = event;
+    send_message(*provider, header, {}, net::kPriorityHighest);
+    sub.subscribed_remotely = true;
+  });
+}
+
+void ServiceRuntime::unsubscribe(ServiceId service, ElementId event) {
+  const Key key{service, event};
+  auto it = subscriptions_.find(key);
+  if (it == subscriptions_.end()) return;
+  const bool was_remote = it->second.subscribed_remotely;
+  subscriptions_.erase(it);
+  const auto provider = provider_of(service);
+  if (was_remote && provider && *provider != ecu_.node_id()) {
+    MessageHeader header;
+    header.type = MsgType::kUnsubscribe;
+    header.service = service;
+    header.element = event;
+    send_message(*provider, header, {}, net::kPriorityHighest);
+  }
+}
+
+void ServiceRuntime::publish(ServiceId service, ElementId event,
+                             std::vector<std::uint8_t> data,
+                             net::Priority priority) {
+  assert(offered_.count(service) && "publishing on a service not offered");
+  MessageHeader header;
+  header.type = MsgType::kNotify;
+  header.service = service;
+  header.element = event;
+
+  // Local subscribers: dispatch through the CPU (RTE-local path).
+  auto local = subscriptions_.find({service, event});
+  if (local != subscriptions_.end() && local->second.event_handler) {
+    charge(data.size(), [this, service, event, data] {
+      auto it = subscriptions_.find({service, event});
+      if (it != subscriptions_.end() && it->second.event_handler) {
+        it->second.event_handler(data, ecu_.node_id());
+      }
+    });
+  }
+  // Remote subscribers: one notification each.
+  auto remotes = remote_subscribers_.find({service, event});
+  if (remotes != remote_subscribers_.end()) {
+    for (net::NodeId dst : remotes->second) {
+      send_message(dst, header, data, priority);
+    }
+  }
+}
+
+// --- RPC -----------------------------------------------------------------------------
+
+void ServiceRuntime::provide_method(ServiceId service, ElementId method,
+                                    MethodHandler handler) {
+  methods_[{service, method}] = std::move(handler);
+}
+
+void ServiceRuntime::call(ServiceId service, ElementId method,
+                          std::vector<std::uint8_t> request,
+                          ResponseHandler on_response,
+                          net::Priority priority) {
+  when_provider_known(
+      service,
+      [this, service, method, request = std::move(request),
+       on_response = std::move(on_response), priority]() mutable {
+        const auto provider = provider_of(service);
+        if (!provider) {
+          ++failed_calls_;
+          if (on_response) on_response(false, {});
+          return;
+        }
+        const std::uint32_t session = next_session_++;
+        // Local provider: invoke the handler through the CPU.
+        if (*provider == ecu_.node_id()) {
+          auto it = methods_.find({service, method});
+          if (it == methods_.end()) {
+            ++failed_calls_;
+            if (on_response) on_response(false, {});
+            return;
+          }
+          charge(request.size(),
+                 [this, service, method, request = std::move(request),
+                  on_response = std::move(on_response)]() mutable {
+                   auto handler = methods_.find({service, method});
+                   if (handler == methods_.end()) {
+                     ++failed_calls_;
+                     if (on_response) on_response(false, {});
+                     return;
+                   }
+                   auto response = handler->second(request);
+                   charge(response.size(),
+                          [on_response = std::move(on_response),
+                           response = std::move(response)]() mutable {
+                            if (on_response) {
+                              on_response(true, std::move(response));
+                            }
+                          });
+                 });
+          return;
+        }
+        // Remote provider: correlate by session with a timeout.
+        PendingCall pending;
+        pending.handler = std::move(on_response);
+        pending.timeout = ecu_.simulator().schedule_in(
+            config_.call_timeout, [this, session] {
+              auto it = pending_calls_.find(session);
+              if (it == pending_calls_.end()) return;
+              auto handler = std::move(it->second.handler);
+              pending_calls_.erase(it);
+              ++failed_calls_;
+              if (handler) handler(false, {});
+            });
+        pending_calls_.emplace(session, std::move(pending));
+        MessageHeader header;
+        header.type = MsgType::kRequest;
+        header.service = service;
+        header.element = method;
+        header.session = session;
+        send_message(*provider, header, request, priority);
+      });
+}
+
+// --- Fields ------------------------------------------------------------------------------
+
+void ServiceRuntime::provide_field(ServiceId service, ElementId field,
+                                   std::vector<std::uint8_t> initial_value) {
+  const Key key{service, field};
+  fields_[key] = std::move(initial_value);
+  provide_method(service, field_getter(field),
+                 [this, key](const std::vector<std::uint8_t>&) {
+                   return fields_[key];
+                 });
+  provide_method(
+      service, field_setter(field),
+      [this, service, field, key](const std::vector<std::uint8_t>& value) {
+        fields_[key] = value;
+        publish(service, field_notifier(field), value,
+                net::kPriorityLowest);
+        return value;  // accepted value echoes back
+      });
+}
+
+std::optional<std::vector<std::uint8_t>> ServiceRuntime::field_value(
+    ServiceId service, ElementId field) const {
+  auto it = fields_.find({service, field});
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ServiceRuntime::field_get(ServiceId service, ElementId field,
+                               ResponseHandler on_value) {
+  call(service, field_getter(field), {}, std::move(on_value));
+}
+
+void ServiceRuntime::field_set(ServiceId service, ElementId field,
+                               std::vector<std::uint8_t> value,
+                               ResponseHandler on_result) {
+  call(service, field_setter(field), std::move(value),
+       std::move(on_result));
+}
+
+void ServiceRuntime::subscribe_field(ServiceId service, ElementId field,
+                                     EventHandler on_change) {
+  // Seed with the current value, then follow changes.
+  auto handler = std::make_shared<EventHandler>(std::move(on_change));
+  subscribe(service, field_notifier(field),
+            [handler](std::vector<std::uint8_t> value, net::NodeId source) {
+              (*handler)(std::move(value), source);
+            });
+  field_get(service, field,
+            [this, handler, service](bool ok,
+                                     std::vector<std::uint8_t> value) {
+              if (!ok) return;
+              const auto provider = provider_of(service);
+              (*handler)(std::move(value),
+                         provider.value_or(ecu_.node_id()));
+            });
+}
+
+// --- Streams ----------------------------------------------------------------------------
+
+void ServiceRuntime::subscribe_stream(ServiceId service, ElementId stream,
+                                      StreamHandler handler) {
+  auto& sub = subscriptions_[{service, stream}];
+  sub.stream_handler = std::move(handler);
+  sub.next_sequence = 0;
+  when_provider_known(service, [this, service, stream] {
+    const auto provider = provider_of(service);
+    if (!provider || *provider == ecu_.node_id()) return;
+    MessageHeader header;
+    header.type = MsgType::kSubscribe;
+    header.service = service;
+    header.element = stream;
+    send_message(*provider, header, {}, net::kPriorityHighest);
+  });
+}
+
+void ServiceRuntime::stream_send(ServiceId service, ElementId stream,
+                                 std::vector<std::uint8_t> data,
+                                 net::Priority priority) {
+  assert(offered_.count(service) && "streaming on a service not offered");
+  const std::uint32_t sequence = stream_sequences_[{service, stream}]++;
+  MessageHeader header;
+  header.type = MsgType::kStreamData;
+  header.service = service;
+  header.element = stream;
+  header.session = sequence;
+
+  auto local = subscriptions_.find({service, stream});
+  if (local != subscriptions_.end() && local->second.stream_handler) {
+    charge(data.size(), [this, service, stream, sequence, data] {
+      auto it = subscriptions_.find({service, stream});
+      if (it != subscriptions_.end() && it->second.stream_handler) {
+        it->second.stream_handler(sequence, data);
+      }
+    });
+  }
+  auto remotes = remote_subscribers_.find({service, stream});
+  if (remotes != remote_subscribers_.end()) {
+    for (net::NodeId dst : remotes->second) {
+      send_message(dst, header, data, priority);
+    }
+  }
+}
+
+std::uint64_t ServiceRuntime::stream_losses(ServiceId service,
+                                            ElementId stream) const {
+  auto it = subscriptions_.find({service, stream});
+  return it == subscriptions_.end() ? 0 : it->second.losses;
+}
+
+// --- Inbound path ------------------------------------------------------------------------
+
+void ServiceRuntime::on_message(net::NodeId /*src*/,
+                                std::vector<std::uint8_t> wire) {
+  MessageHeader header;
+  std::vector<std::uint8_t> body;
+  if (!MessageHeader::decode(wire, header, body)) {
+    ++rejected_;
+    return;
+  }
+  if (filter_ && !filter_(header, body)) {
+    ++rejected_;
+    if (ecu_.trace() != nullptr) {
+      ecu_.trace()->record(ecu_.simulator().now(),
+                           sim::TraceCategory::kSecurity, ecu_.name(),
+                           "message_rejected", header.service);
+    }
+    return;
+  }
+  charge(body.size(),
+         [this, header, body = std::move(body)]() mutable {
+           dispatch(header, std::move(body));
+         });
+}
+
+void ServiceRuntime::dispatch(MessageHeader header,
+                              std::vector<std::uint8_t> body) {
+  const Key key{header.service, header.element};
+  switch (header.type) {
+    case MsgType::kOffer: {
+      auto required = required_versions_.find(header.service);
+      if (required != required_versions_.end() &&
+          header.session < required->second) {
+        ++stale_offers_;
+        break;  // too old: do not bind
+      }
+      auto previous = providers_.find(header.service);
+      const bool provider_changed = previous == providers_.end() ||
+                                    previous->second != header.sender;
+      providers_[header.service] = header.sender;
+      provider_versions_[header.service] = header.session;
+      // Dynamic re-binding: when a service moves (update redirect across
+      // nodes, redundancy failover), existing local subscriptions follow
+      // the new provider by re-subscribing.
+      if (provider_changed && header.sender != ecu_.node_id()) {
+        for (auto& [key, sub] : subscriptions_) {
+          if (key.first != header.service) continue;
+          MessageHeader resubscribe;
+          resubscribe.type = MsgType::kSubscribe;
+          resubscribe.service = key.first;
+          resubscribe.element = key.second;
+          send_message(header.sender, resubscribe, {},
+                       net::kPriorityHighest);
+          sub.subscribed_remotely = true;
+        }
+      }
+      flush_parked(header.service);
+      break;
+    }
+    case MsgType::kFind: {
+      auto it = offered_.find(header.service);
+      if (it != offered_.end()) {
+        MessageHeader reply;
+        reply.type = MsgType::kOffer;
+        reply.service = header.service;
+        reply.session = it->second;
+        send_message(net::kBroadcast, reply, {}, net::kPriorityHighest);
+      }
+      break;
+    }
+    case MsgType::kSubscribe: {
+      remote_subscribers_[key].insert(header.sender);
+      break;
+    }
+    case MsgType::kUnsubscribe: {
+      auto it = remote_subscribers_.find(key);
+      if (it != remote_subscribers_.end()) it->second.erase(header.sender);
+      break;
+    }
+    case MsgType::kNotify: {
+      auto it = subscriptions_.find(key);
+      if (it != subscriptions_.end() && it->second.event_handler) {
+        it->second.event_handler(std::move(body), header.sender);
+      }
+      break;
+    }
+    case MsgType::kRequest: {
+      auto it = methods_.find(key);
+      MessageHeader reply;
+      reply.service = header.service;
+      reply.element = header.element;
+      reply.session = header.session;
+      if (it == methods_.end()) {
+        reply.type = MsgType::kError;
+        send_message(header.sender, reply, {}, net::kPriorityHighest);
+      } else {
+        reply.type = MsgType::kResponse;
+        auto response = it->second(body);
+        send_message(header.sender, reply, response, net::kPriorityLowest);
+      }
+      break;
+    }
+    case MsgType::kResponse:
+    case MsgType::kError: {
+      auto it = pending_calls_.find(header.session);
+      if (it == pending_calls_.end()) break;  // late response after timeout
+      ecu_.simulator().cancel(it->second.timeout);
+      auto handler = std::move(it->second.handler);
+      pending_calls_.erase(it);
+      if (handler) {
+        handler(header.type == MsgType::kResponse, std::move(body));
+      }
+      break;
+    }
+    case MsgType::kStreamData: {
+      auto it = subscriptions_.find(key);
+      if (it == subscriptions_.end() || !it->second.stream_handler) break;
+      auto& sub = it->second;
+      if (header.session > sub.next_sequence) {
+        sub.losses += header.session - sub.next_sequence;
+      }
+      sub.next_sequence = header.session + 1;
+      sub.stream_handler(header.session, std::move(body));
+      break;
+    }
+  }
+}
+
+}  // namespace dynaplat::middleware

@@ -1,0 +1,100 @@
+#include "middleware/transport.hpp"
+
+#include <cassert>
+
+namespace dynaplat::middleware {
+
+Transport::Transport(std::function<void(net::Frame)> send_frame,
+                     std::size_t max_frame_payload)
+    : send_frame_(std::move(send_frame)),
+      max_frame_payload_(max_frame_payload) {
+  assert(max_frame_payload_ > kFragmentHeader &&
+         "medium payload too small for fragment header");
+}
+
+std::size_t Transport::fragments_for(std::size_t size) const {
+  const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
+  return size == 0 ? 1 : (size + chunk - 1) / chunk;
+}
+
+void Transport::send(net::NodeId dst, net::Priority priority,
+                     std::uint32_t flow_id,
+                     const std::vector<std::uint8_t>& message) {
+  const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
+  const std::size_t count = fragments_for(message.size());
+  const std::uint16_t id = next_message_id_++;
+  ++messages_sent_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(begin + chunk, message.size());
+    net::Frame frame;
+    frame.dst = dst;
+    frame.priority = priority;
+    frame.flow_id = flow_id;
+    frame.payload.reserve(kFragmentHeader + (end - begin));
+    frame.payload.push_back(static_cast<std::uint8_t>(id));
+    frame.payload.push_back(static_cast<std::uint8_t>(id >> 8));
+    frame.payload.push_back(static_cast<std::uint8_t>(i));
+    frame.payload.push_back(static_cast<std::uint8_t>(i >> 8));
+    frame.payload.push_back(static_cast<std::uint8_t>(count));
+    frame.payload.push_back(static_cast<std::uint8_t>(count >> 8));
+    frame.payload.insert(frame.payload.end(),
+                         message.begin() + static_cast<long>(begin),
+                         message.begin() + static_cast<long>(end));
+    send_frame_(std::move(frame));
+  }
+}
+
+void Transport::on_frame(const net::Frame& frame) {
+  if (frame.payload.size() < kFragmentHeader) {
+    ++reassembly_failures_;
+    return;
+  }
+  const std::uint16_t id = static_cast<std::uint16_t>(
+      frame.payload[0] | (frame.payload[1] << 8));
+  const std::uint16_t index = static_cast<std::uint16_t>(
+      frame.payload[2] | (frame.payload[3] << 8));
+  const std::uint16_t count = static_cast<std::uint16_t>(
+      frame.payload[4] | (frame.payload[5] << 8));
+  if (count == 0 || index >= count) {
+    ++reassembly_failures_;
+    return;
+  }
+
+  // Fast path: single-fragment message.
+  std::vector<std::uint8_t> body(
+      frame.payload.begin() + static_cast<long>(kFragmentHeader),
+      frame.payload.end());
+  if (count == 1) {
+    ++messages_received_;
+    if (handler_) handler_(frame.src, std::move(body));
+    return;
+  }
+
+  const auto key = std::make_pair(frame.src, id);
+  auto it = partial_.find(key);
+  if (it == partial_.end()) {
+    it = partial_.emplace(key, PartialMessage{}).first;
+    it->second.fragments.resize(count);
+  } else if (it->second.fragments.size() != count) {
+    // Sender reused the id for a different message: restart reassembly.
+    it->second = PartialMessage{};
+    it->second.fragments.resize(count);
+    ++reassembly_failures_;
+  }
+  PartialMessage& partial = it->second;
+  if (partial.fragments[index].empty()) ++partial.received;
+  partial.fragments[index] = std::move(body);
+
+  if (partial.received == partial.fragments.size()) {
+    std::vector<std::uint8_t> message;
+    for (auto& fragment : partial.fragments) {
+      message.insert(message.end(), fragment.begin(), fragment.end());
+    }
+    partial_.erase(it);
+    ++messages_received_;
+    if (handler_) handler_(frame.src, std::move(message));
+  }
+}
+
+}  // namespace dynaplat::middleware

@@ -1,0 +1,70 @@
+// Segmentation/reassembly transport over any net::Medium.
+//
+// Media have maximum frame payloads (CAN: 8 B, Ethernet: 1500 B); middleware
+// messages can be larger. The Transport fragments a message into numbered
+// segments and reassembles on the far side, preserving the frame priority
+// so urgent control messages keep their precedence per fragment.
+//
+// Fragment wire format (6-byte header per fragment):
+//   [u16 message id][u16 fragment index][u16 fragment count] payload...
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/medium.hpp"
+
+namespace dynaplat::middleware {
+
+/// Delivered when all fragments of a message have arrived.
+using MessageHandler =
+    std::function<void(net::NodeId src, std::vector<std::uint8_t> message)>;
+
+class Transport {
+ public:
+  /// `send_frame` submits one frame towards the medium (the Ecu's send path,
+  /// so failure gating applies). Incoming frames are fed via on_frame().
+  Transport(std::function<void(net::Frame)> send_frame,
+            std::size_t max_frame_payload);
+
+  /// Fragments and sends a message. flow_id groups fragments of one logical
+  /// flow for media-level arbitration (e.g. the CAN id).
+  void send(net::NodeId dst, net::Priority priority, std::uint32_t flow_id,
+            const std::vector<std::uint8_t>& message);
+
+  /// Feeds a received frame into reassembly.
+  void on_frame(const net::Frame& frame);
+
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  /// Number of frames one message of `size` bytes costs on this medium.
+  std::size_t fragments_for(std::size_t size) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t reassembly_failures() const { return reassembly_failures_; }
+
+  static constexpr std::size_t kFragmentHeader = 6;
+
+ private:
+  struct PartialMessage {
+    std::vector<std::vector<std::uint8_t>> fragments;
+    std::size_t received = 0;
+  };
+
+  std::function<void(net::Frame)> send_frame_;
+  std::size_t max_frame_payload_;
+  MessageHandler handler_;
+  std::uint16_t next_message_id_ = 1;
+  // Keyed by (src node, message id). Stale partials are evicted when the
+  // same sender reuses an id (16-bit wrap) — bounded memory.
+  std::map<std::pair<net::NodeId, std::uint16_t>, PartialMessage> partial_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t reassembly_failures_ = 0;
+};
+
+}  // namespace dynaplat::middleware

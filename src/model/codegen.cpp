@@ -1,0 +1,115 @@
+#include "model/codegen.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace dynaplat::model {
+namespace {
+
+/// "BrakeController" -> "brake_controller"; leaves other identifiers sane.
+std::string to_snake(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      if (!out.empty() && out.back() != '_') out.push_back('_');
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string generate_app_skeleton(const SystemModel& model,
+                                  const AppDef& app) {
+  std::ostringstream os;
+  os << "// Generated from the system model -- app '" << app.name << "'\n";
+  os << "// class: "
+     << (app.app_class == AppClass::kDeterministic ? "deterministic"
+                                                   : "non-deterministic")
+     << ", ASIL " << to_string(app.asil) << ", version " << app.version
+     << "\n";
+  os << "#include \"platform/application.hpp\"\n";
+  os << "#include \"middleware/payload.hpp\"\n\n";
+  os << "class " << app.name << "App final : public dynaplat::platform::Application {\n";
+  os << " public:\n";
+  os << "  void on_start(const dynaplat::platform::AppContext& context) override {\n";
+  os << "    Application::on_start(context);\n";
+  for (const auto& consumed : app.consumes) {
+    const InterfaceDef* interface = model.interface(consumed);
+    const char* paradigm =
+        interface != nullptr ? to_string(interface->paradigm) : "event";
+    os << "    // consumes '" << consumed << "' (" << paradigm;
+    auto pinned = app.min_versions.find(consumed);
+    if (pinned != app.min_versions.end()) {
+      os << ", requires version >= " << pinned->second;
+    }
+    os << ")\n";
+    os << "    context_.comm->subscribe(\n"
+       << "        context_.service_id(\"" << consumed << "\"), 1,\n"
+       << "        [this](std::vector<std::uint8_t> data, dynaplat::net::NodeId) {\n"
+       << "          // TODO: deserialize and handle '" << consumed << "'\n"
+       << "          (void)data;\n"
+       << "        });\n";
+  }
+  os << "  }\n\n";
+  os << "  void on_task(const std::string& task) override {\n";
+  os << "    if (!active()) return;\n";
+  bool first = true;
+  for (const auto& task : app.tasks) {
+    os << "    " << (first ? "" : "else ") << "if (task == \"" << task.name
+       << "\") {  // period " << task.period << " ns, wcet ~"
+       << task.instructions << " instr\n";
+    os << "      " << to_snake(task.name) << "();\n";
+    os << "    }\n";
+    first = false;
+  }
+  os << "  }\n\n";
+  os << " private:\n";
+  for (const auto& task : app.tasks) {
+    os << "  void " << to_snake(task.name) << "() {\n";
+    for (const auto& provided : app.provides) {
+      os << "    // provides '" << provided << "': publish from here.\n";
+      os << "    // dynaplat::middleware::PayloadWriter writer;\n";
+      os << "    // context_.comm->publish(context_.service_id(\"" << provided
+         << "\"), 1, writer.take(),\n"
+         << "    //                        context_.priority_of(\"" << provided
+         << "\"));\n";
+    }
+    os << "    // TODO: implement\n  }\n";
+  }
+  os << "};\n";
+  return os.str();
+}
+
+std::string generate_middleware_config(const SystemModel& model) {
+  std::ostringstream os;
+  os << "# middleware configuration (generated; service ids in model order\n";
+  os << "# matching platform::DynamicPlatform::service_id assignment)\n";
+  os << "# interface\tservice_id\tparadigm\tversion\tpayload\tprovider\n";
+  std::uint16_t next_id = 1;
+  for (const auto& interface : model.interfaces()) {
+    const AppDef* provider = model.provider_of(interface.name);
+    os << interface.name << "\t" << next_id++ << "\t"
+       << to_string(interface.paradigm) << "\t" << interface.version << "\t"
+       << interface.payload_bytes << "\t"
+       << (provider != nullptr ? provider->name : "-") << "\n";
+  }
+  return os.str();
+}
+
+std::string generate_all(const SystemModel& model) {
+  std::ostringstream os;
+  os << generate_middleware_config(model) << "\n";
+  for (const auto& app : model.apps()) {
+    os << generate_app_skeleton(model, app) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynaplat::model

@@ -1,0 +1,36 @@
+// Artifact generation from the system model (paper Sec. 2.2):
+// "Integration is key for a modeling approach. It can, e.g., be used to
+// generate code stubs, configurations for communication stacks and a
+// middleware on devices, or input for simulation environments."
+//
+// Three generators, all pure functions of the model:
+//   app skeletons   — a C++ Application subclass per app with one
+//                     on_task branch per modeled task and typed publish/
+//                     subscribe wiring for its provides/consumes,
+//   middleware config — the service-id table, per-interface priority and
+//                     payload budget each node's communication stack loads,
+//   simulation input — the canonical DSL (to_dsl) is already round-trip
+//                     parseable, so it doubles as the simulation input.
+#pragma once
+
+#include <string>
+
+#include "model/system_model.hpp"
+
+namespace dynaplat::model {
+
+/// C++ skeleton for one application: compiles against platform/application.hpp
+/// once the TODO bodies are filled in.
+std::string generate_app_skeleton(const SystemModel& model,
+                                  const AppDef& app);
+
+/// Middleware configuration table (one text block for the whole vehicle):
+/// interface -> service id, paradigm, version, priority hint, payload.
+/// Service ids are assigned in model order, matching
+/// platform::DynamicPlatform's registry.
+std::string generate_middleware_config(const SystemModel& model);
+
+/// All artifacts bundled: skeletons for every app + the middleware config.
+std::string generate_all(const SystemModel& model);
+
+}  // namespace dynaplat::model

@@ -1,0 +1,60 @@
+// Text parser for the dynaplat system-description DSLs.
+//
+// One compact line-oriented format covers the paper's three DSL domains
+// (Sec. 2.2): hardware architecture, interfaces, applications, deployment.
+// Example:
+//
+//   network Backbone kind=tsn bitrate=1G
+//   ecu Central mips=10000 memory=512M mmu=yes crypto=yes asil=D
+//       os=rtos network=Backbone           (single line in real input)
+//   interface BrakeStatus paradigm=event payload=8 period=10ms
+//       max_latency=5ms                    (single line in real input)
+//   app BrakeController class=deterministic asil=D memory=4M replicas=2
+//     task control period=10ms wcet=20000 priority=1
+//     provides BrakeStatus
+//     consumes WheelSpeed
+//   deploy BrakeController -> Central | Backup
+//
+// Durations accept ns/us/ms/s suffixes; sizes accept K/M/G; bitrates accept
+// K/M/G (bits per second). Indented `task`/`provides`/`consumes` lines
+// belong to the preceding `app`. `deploy` lines with `|` list variant
+// candidates (Sec. 2.3). `#` starts a comment.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "model/system_model.hpp"
+
+namespace dynaplat::model {
+
+/// Error with 1-based line number context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ParsedSystem {
+  SystemModel model;
+  DeploymentDef deployment;
+};
+
+/// Parses the DSL text; throws ParseError on malformed input.
+ParsedSystem parse_system(const std::string& text);
+
+/// Parses a duration literal like "10ms", "500us", "1s", "250" (ns).
+sim::Duration parse_duration(const std::string& text);
+
+/// Parses a size literal like "4M", "512K", "1G", "1024" (bytes).
+std::uint64_t parse_size(const std::string& text);
+
+/// Serializes a model + deployment back to DSL text (round-trippable).
+std::string to_dsl(const SystemModel& model, const DeploymentDef& deployment);
+
+}  // namespace dynaplat::model

@@ -1,0 +1,123 @@
+#include "model/system_model.hpp"
+
+#include <algorithm>
+
+namespace dynaplat::model {
+
+const char* to_string(Asil asil) {
+  switch (asil) {
+    case Asil::kQM: return "QM";
+    case Asil::kA: return "A";
+    case Asil::kB: return "B";
+    case Asil::kC: return "C";
+    case Asil::kD: return "D";
+  }
+  return "?";
+}
+
+bool parse_asil(const std::string& text, Asil& out) {
+  if (text == "QM" || text == "qm") out = Asil::kQM;
+  else if (text == "A" || text == "a") out = Asil::kA;
+  else if (text == "B" || text == "b") out = Asil::kB;
+  else if (text == "C" || text == "c") out = Asil::kC;
+  else if (text == "D" || text == "d") out = Asil::kD;
+  else return false;
+  return true;
+}
+
+const char* to_string(Paradigm paradigm) {
+  switch (paradigm) {
+    case Paradigm::kEvent: return "event";
+    case Paradigm::kMessage: return "message";
+    case Paradigm::kStream: return "stream";
+  }
+  return "?";
+}
+
+bool parse_paradigm(const std::string& text, Paradigm& out) {
+  if (text == "event") out = Paradigm::kEvent;
+  else if (text == "message") out = Paradigm::kMessage;
+  else if (text == "stream") out = Paradigm::kStream;
+  else return false;
+  return true;
+}
+
+const char* to_string(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kCan: return "can";
+    case NetworkKind::kEthernet: return "ethernet";
+    case NetworkKind::kTsn: return "tsn";
+    case NetworkKind::kFlexRay: return "flexray";
+  }
+  return "?";
+}
+
+void SystemModel::add_network(NetworkDef network) {
+  networks_.push_back(std::move(network));
+}
+void SystemModel::add_ecu(EcuDef ecu) { ecus_.push_back(std::move(ecu)); }
+void SystemModel::add_interface(InterfaceDef interface) {
+  interfaces_.push_back(std::move(interface));
+}
+void SystemModel::add_app(AppDef app) { apps_.push_back(std::move(app)); }
+
+namespace {
+template <typename T>
+const T* find_by_name(const std::vector<T>& items, const std::string& name) {
+  for (const auto& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const NetworkDef* SystemModel::network(const std::string& name) const {
+  return find_by_name(networks_, name);
+}
+const EcuDef* SystemModel::ecu(const std::string& name) const {
+  return find_by_name(ecus_, name);
+}
+const InterfaceDef* SystemModel::interface(const std::string& name) const {
+  return find_by_name(interfaces_, name);
+}
+const AppDef* SystemModel::app(const std::string& name) const {
+  return find_by_name(apps_, name);
+}
+
+const AppDef* SystemModel::provider_of(
+    const std::string& interface_name) const {
+  for (const auto& app : apps_) {
+    if (std::find(app.provides.begin(), app.provides.end(), interface_name) !=
+        app.provides.end()) {
+      return &app;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const AppDef*> SystemModel::consumers_of(
+    const std::string& interface_name) const {
+  std::vector<const AppDef*> out;
+  for (const auto& app : apps_) {
+    if (std::find(app.consumes.begin(), app.consumes.end(), interface_name) !=
+        app.consumes.end()) {
+      out.push_back(&app);
+    }
+  }
+  return out;
+}
+
+std::vector<const AppDef*> SystemModel::dependencies_of(
+    const AppDef& app) const {
+  std::vector<const AppDef*> out;
+  for (const auto& interface_name : app.consumes) {
+    const AppDef* provider = provider_of(interface_name);
+    if (provider != nullptr && provider != &app &&
+        std::find(out.begin(), out.end(), provider) == out.end()) {
+      out.push_back(provider);
+    }
+  }
+  return out;
+}
+
+}  // namespace dynaplat::model

@@ -1,0 +1,47 @@
+// Aggregated system model with name-based lookups and structural checks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace dynaplat::model {
+
+class SystemModel {
+ public:
+  void add_network(NetworkDef network);
+  void add_ecu(EcuDef ecu);
+  void add_interface(InterfaceDef interface);
+  void add_app(AppDef app);
+
+  const NetworkDef* network(const std::string& name) const;
+  const EcuDef* ecu(const std::string& name) const;
+  const InterfaceDef* interface(const std::string& name) const;
+  const AppDef* app(const std::string& name) const;
+
+  const std::vector<NetworkDef>& networks() const { return networks_; }
+  const std::vector<EcuDef>& ecus() const { return ecus_; }
+  const std::vector<InterfaceDef>& interfaces() const { return interfaces_; }
+  const std::vector<AppDef>& apps() const { return apps_; }
+
+  /// The app owning (providing) an interface, if any. The owner controls
+  /// the interface description and version (Sec. 2.1).
+  const AppDef* provider_of(const std::string& interface_name) const;
+
+  /// All apps that require an interface.
+  std::vector<const AppDef*> consumers_of(
+      const std::string& interface_name) const;
+
+  /// Apps that `app` depends on (providers of its required interfaces).
+  std::vector<const AppDef*> dependencies_of(const AppDef& app) const;
+
+ private:
+  std::vector<NetworkDef> networks_;
+  std::vector<EcuDef> ecus_;
+  std::vector<InterfaceDef> interfaces_;
+  std::vector<AppDef> apps_;
+};
+
+}  // namespace dynaplat::model

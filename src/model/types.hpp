@@ -1,0 +1,133 @@
+// Model vocabulary: the three DSL domains of Sec. 2.2 (hardware
+// architecture, application interfaces, deployment) as typed definitions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaplat::model {
+
+/// ISO 26262 Automotive Safety Integrity Level. Ordered: QM < A < ... < D.
+enum class Asil : std::uint8_t { kQM = 0, kA, kB, kC, kD };
+
+const char* to_string(Asil asil);
+bool parse_asil(const std::string& text, Asil& out);
+
+/// Communication paradigms of Sec. 2.1 / Fig. 3.
+enum class Paradigm : std::uint8_t { kEvent, kMessage, kStream };
+
+const char* to_string(Paradigm paradigm);
+bool parse_paradigm(const std::string& text, Paradigm& out);
+
+/// Application classes of Sec. 3.1.
+enum class AppClass : std::uint8_t { kDeterministic, kNonDeterministic };
+
+/// Network technology of a communication system in the hardware model.
+enum class NetworkKind : std::uint8_t { kCan, kEthernet, kTsn, kFlexRay };
+
+const char* to_string(NetworkKind kind);
+
+/// --- Hardware architecture DSL ---------------------------------------------
+
+struct NetworkDef {
+  std::string name;
+  NetworkKind kind = NetworkKind::kEthernet;
+  std::uint64_t bitrate_bps = 100'000'000;
+};
+
+struct EcuDef {
+  std::string name;
+  std::uint64_t mips = 200;
+  int cores = 1;
+  std::size_t memory_bytes = 64ull << 20;
+  bool has_mmu = true;
+  bool crypto_accelerator = false;
+  /// Highest ASIL the ECU hardware + OS is certified to host.
+  Asil max_asil = Asil::kQM;
+  /// Whether an RTOS runs here (deterministic apps require one, Sec. 1.1).
+  bool rtos = true;
+  std::string network;  ///< name of the attached NetworkDef
+};
+
+/// --- Interface DSL -----------------------------------------------------------
+
+/// Every interface has exactly one owner who controls description and
+/// version (Sec. 2.1). Requirements are "complex objects, defined by complex
+/// data types" — modeled here as the attribute set the verification engine
+/// checks.
+struct InterfaceDef {
+  std::string name;
+  Paradigm paradigm = Paradigm::kEvent;
+  std::uint32_t version = 1;
+  std::size_t payload_bytes = 8;
+  sim::Duration period = 0;          ///< publication period (event/stream)
+  sim::Duration max_latency = 0;     ///< end-to-end requirement; 0 = none
+  sim::Duration max_jitter = 0;      ///< delivery jitter requirement
+  std::uint64_t bandwidth_bps = 0;   ///< stream sustained bandwidth
+};
+
+/// --- Application DSL -----------------------------------------------------------
+
+struct TaskDef {
+  std::string name;
+  sim::Duration period = 0;
+  sim::Duration deadline = 0;  ///< 0 => implicit deadline (== period)
+  std::uint64_t instructions = 1000;
+  double execution_jitter = 0.0;
+  int priority = 16;
+};
+
+struct AppDef {
+  std::string name;
+  AppClass app_class = AppClass::kNonDeterministic;
+  Asil asil = Asil::kQM;
+  std::uint32_t version = 1;
+  std::size_t memory_bytes = 1ull << 20;
+  bool needs_crypto = false;
+  /// Fail-operational replica count (Sec. 3.3); 1 = no redundancy.
+  int replicas = 1;
+  std::vector<TaskDef> tasks;
+  std::vector<std::string> provides;  ///< interface names owned by this app
+  std::vector<std::string> consumes;  ///< interface names consumed
+  /// Minimum interface version required per consumed interface ("X@2" in
+  /// the DSL). Absent entry = any version. The owner evolves the interface
+  /// version (Sec. 2.1); consumers pin what they were built against.
+  std::map<std::string, std::uint32_t> min_versions;
+
+  double utilization_on(std::uint64_t mips) const {
+    double u = 0.0;
+    for (const auto& t : tasks) {
+      if (t.period > 0) {
+        u += static_cast<double>(t.instructions) * 1000.0 /
+             static_cast<double>(mips) / static_cast<double>(t.period);
+      }
+    }
+    return u;
+  }
+};
+
+/// --- Deployment DSL -------------------------------------------------------------
+
+/// A concrete or variant-bearing mapping of applications onto ECUs. Variant
+/// support (Sec. 2.3): an app may list several candidate ECUs; the DSE picks
+/// the binding, and the verification engine must pass *every* allowed one.
+struct DeploymentDef {
+  struct Binding {
+    std::string app;
+    std::vector<std::string> candidates;  ///< 1 entry = fixed binding
+  };
+  std::vector<Binding> bindings;
+
+  const Binding* find(const std::string& app) const {
+    for (const auto& b : bindings) {
+      if (b.app == app) return &b;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace dynaplat::model

@@ -1,0 +1,76 @@
+#include "net/can_bus.hpp"
+
+#include <cassert>
+
+namespace dynaplat::net {
+
+CanBus::CanBus(sim::Simulator& simulator, std::string name,
+               CanBusConfig config)
+    : Medium(simulator, std::move(name)), config_(config) {}
+
+sim::Duration CanBus::frame_duration(std::size_t dlc) const {
+  assert(dlc <= max_payload());
+  if (!config_.fd) {
+    // Standard frame: 1 SOF + 11 id + 1 RTR + 6 control + 8*dlc data +
+    // 15 CRC + 1 CRC delim + 2 ACK + 7 EOF = 44 + 8*dlc bits, of which the
+    // first 34 + 8*dlc are subject to stuffing (worst case 1 per 4 bits),
+    // plus 3 bits interframe space.
+    const std::uint64_t data_bits = 8ull * dlc;
+    const std::uint64_t stuffable = 34 + data_bits;
+    const std::uint64_t stuff = (stuffable - 1) / 4;
+    const std::uint64_t total_bits = 44 + data_bits + stuff + 3;
+    return static_cast<sim::Duration>(total_bits * sim::kSecond /
+                                      config_.bitrate_bps);
+  }
+  // CAN FD: the arbitration phase (~30 bits: SOF, id, control entry, ACK,
+  // EOF, IFS) runs at the arbitration bitrate; the BRS-switched data phase
+  // (DLC, 8*dlc data, 21-bit CRC for >16 bytes, stuffing ~20%) runs at the
+  // data bitrate.
+  const std::uint64_t arbitration_bits = 30;
+  const std::uint64_t data_field_bits = 8ull * dlc + 28;
+  const std::uint64_t data_bits = data_field_bits + data_field_bits / 5;
+  return static_cast<sim::Duration>(
+      arbitration_bits * sim::kSecond / config_.bitrate_bps +
+      data_bits * sim::kSecond / config_.data_bitrate_bps);
+}
+
+std::uint32_t CanBus::arbitration_id(const Frame& frame) const {
+  const std::uint32_t base =
+      std::uint32_t(frame.priority) * config_.id_stride;
+  return (base + frame.flow_id % config_.id_stride) & 0x7FF;
+}
+
+std::size_t CanBus::queued() const {
+  std::size_t n = 0;
+  for (const auto& [id, q] : pending_) n += q.size();
+  return n;
+}
+
+void CanBus::send(Frame frame) {
+  if (inject_drop()) return;
+  assert(frame.payload.size() <= max_payload());
+  frame.enqueued_at = sim_.now();
+  frame.seq = seq_++;
+  pending_[arbitration_id(frame)].push_back(std::move(frame));
+  try_start_transmission();
+}
+
+void CanBus::try_start_transmission() {
+  if (busy_ || pending_.empty()) return;
+  // Arbitration: lowest id (map order) wins the idle bus.
+  auto it = pending_.begin();
+  in_flight_ = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) pending_.erase(it);
+  busy_ = true;
+  sim_.schedule_in(frame_duration(in_flight_.payload.size()),
+                   [this] { finish_transmission(); });
+}
+
+void CanBus::finish_transmission() {
+  busy_ = false;
+  deliver(std::move(in_flight_));
+  try_start_transmission();
+}
+
+}  // namespace dynaplat::net

@@ -1,0 +1,61 @@
+// CAN bus model (ISO 11898 classic CAN, 11-bit identifiers).
+//
+// Models the two properties that matter for the paper's interference
+// arguments (Sec. 3.1 / Sec. 5.3): global priority arbitration by frame ID
+// (lowest ID wins whenever the bus goes idle) and non-preemptive frame
+// transmission (an urgent frame waits for at most one in-flight lower
+// priority frame). Frame duration includes worst-case bit stuffing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "net/medium.hpp"
+
+namespace dynaplat::net {
+
+struct CanBusConfig {
+  std::uint64_t bitrate_bps = 500'000;  ///< classic high-speed CAN
+  /// Arbitration id = priority * id_stride + flow_id % id_stride, so the
+  /// unified Priority maps onto the CAN id space.
+  std::uint32_t id_stride = 0x80;
+  /// CAN FD: 64-byte payloads and a faster data phase. The arbitration
+  /// phase stays at bitrate_bps (all nodes must contend), the data phase
+  /// switches to data_bitrate_bps.
+  bool fd = false;
+  std::uint64_t data_bitrate_bps = 2'000'000;
+};
+
+class CanBus final : public Medium {
+ public:
+  CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config);
+
+  void send(Frame frame) override;
+  std::size_t max_payload() const override { return config_.fd ? 64 : 8; }
+
+  /// On-wire duration of a frame with `dlc` payload bytes, including
+  /// worst-case stuff bits and interframe space. Classic: 0..8 bytes at the
+  /// single bitrate. FD: 0..64 bytes, data phase at data_bitrate_bps.
+  sim::Duration frame_duration(std::size_t dlc) const;
+
+  /// Effective 11-bit arbitration id used for a frame.
+  std::uint32_t arbitration_id(const Frame& frame) const;
+
+  bool busy() const { return busy_; }
+  std::size_t queued() const;
+
+ private:
+  void try_start_transmission();
+  void finish_transmission();
+
+  CanBusConfig config_;
+  // All pending frames keyed by arbitration id: the queue *is* the
+  // arbitration. FIFO per id preserves per-sender ordering.
+  std::map<std::uint32_t, std::deque<Frame>> pending_;
+  bool busy_ = false;
+  Frame in_flight_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dynaplat::net

@@ -1,0 +1,105 @@
+#include "net/flexray.hpp"
+
+#include <cassert>
+
+namespace dynaplat::net {
+
+FlexRayBus::FlexRayBus(sim::Simulator& simulator, std::string name,
+                       FlexRayConfig config)
+    : Medium(simulator, std::move(name)), config_(config) {}
+
+sim::Duration FlexRayBus::cycle_duration() const {
+  return static_cast<sim::Duration>(config_.static_slots) *
+             config_.static_slot_duration +
+         static_cast<sim::Duration>(config_.minislots) *
+             config_.minislot_duration;
+}
+
+void FlexRayBus::assign_static_slot(std::size_t slot, std::uint32_t flow_id) {
+  assert(slot < config_.static_slots);
+  auto prev = slot_owner_.find(slot);
+  if (prev != slot_owner_.end()) flow_slot_.erase(prev->second);
+  slot_owner_[slot] = flow_id;
+  flow_slot_[flow_id] = slot;
+}
+
+void FlexRayBus::send(Frame frame) {
+  if (inject_drop()) return;
+  frame.enqueued_at = sim_.now();
+  frame.seq = seq_++;
+  if (flow_slot_.count(frame.flow_id)) {
+    assert(frame.payload.size() <= config_.max_static_payload);
+    static_pending_[frame.flow_id].push_back(std::move(frame));
+  } else {
+    assert(frame.payload.size() <= config_.max_dynamic_payload);
+    dynamic_pending_.emplace(std::make_pair(frame.priority, frame.seq),
+                             std::move(frame));
+  }
+  if (!cycle_scheduled_) {
+    cycle_scheduled_ = true;
+    // Cycles are aligned to the global clock, as in real FlexRay.
+    const sim::Duration cycle = cycle_duration();
+    const sim::Time next_start = ((sim_.now() + cycle - 1) / cycle) * cycle;
+    sim_.schedule_at(next_start, [this] { run_cycle(); });
+  }
+}
+
+void FlexRayBus::run_cycle() {
+  ++cycles_run_;
+  const sim::Time cycle_start = sim_.now();
+
+  // Static segment: each slot delivers at its slot's end time, regardless of
+  // what any other sender does -- that is the determinism guarantee.
+  for (const auto& [slot, flow] : slot_owner_) {
+    auto it = static_pending_.find(flow);
+    if (it == static_pending_.end() || it->second.empty()) continue;
+    Frame frame = std::move(it->second.front());
+    it->second.pop_front();
+    const sim::Time slot_end =
+        cycle_start +
+        static_cast<sim::Duration>(slot + 1) * config_.static_slot_duration;
+    sim_.schedule_at(slot_end, [this, f = std::move(frame)]() mutable {
+      deliver(std::move(f));
+    });
+  }
+
+  // Dynamic segment: minislot counting. Each transmitted frame consumes
+  // ceil(duration / minislot) minislots; arbitration is by priority. A frame
+  // that no longer fits in the remaining minislots waits for the next cycle.
+  const sim::Time dynamic_start =
+      cycle_start + static_cast<sim::Duration>(config_.static_slots) *
+                        config_.static_slot_duration;
+  std::size_t minislot = 0;
+  auto it = dynamic_pending_.begin();
+  while (it != dynamic_pending_.end() && minislot < config_.minislots) {
+    const std::size_t frame_bits = (it->second.payload.size() + 10) * 8;
+    const sim::Duration tx = static_cast<sim::Duration>(
+        frame_bits * sim::kSecond / config_.bitrate_bps);
+    const auto slots_needed = static_cast<std::size_t>(
+        (tx + config_.minislot_duration - 1) / config_.minislot_duration);
+    if (minislot + slots_needed > config_.minislots) break;
+    Frame frame = std::move(it->second);
+    it = dynamic_pending_.erase(it);
+    const sim::Time done =
+        dynamic_start + static_cast<sim::Duration>(minislot + slots_needed) *
+                            config_.minislot_duration;
+    sim_.schedule_at(done, [this, f = std::move(frame)]() mutable {
+      deliver(std::move(f));
+    });
+    minislot += slots_needed;
+  }
+
+  // Keep cycling while anything is pending.
+  bool more = !dynamic_pending_.empty();
+  for (const auto& [flow, queue] : static_pending_) {
+    more = more || !queue.empty();
+  }
+  if (more) {
+    sim_.schedule_at(cycle_start + cycle_duration(),
+                     [this] { run_cycle(); });
+  } else {
+    cycle_scheduled_ = false;
+  }
+}
+
+}  // namespace dynaplat::net

@@ -1,0 +1,40 @@
+// Network frame and endpoint identifiers shared by all media models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaplat::net {
+
+/// Identifies an attached endpoint (an ECU's controller) on a medium.
+using NodeId = std::uint32_t;
+
+/// Destination value meaning "all attached nodes" (native CAN semantics;
+/// also supported by the switch model as flooding).
+inline constexpr NodeId kBroadcast = 0xFFFFFFFFu;
+
+/// Unified priority scale across media: 0 is the most urgent.
+/// CAN maps priority to the arbitration ID; Ethernet maps it to a PCP class
+/// (priority 0..7 -> PCP 7..0); TSN maps it to a gate traffic class.
+using Priority = std::uint8_t;
+inline constexpr Priority kPriorityHighest = 0;
+inline constexpr Priority kPriorityLowest = 7;
+
+struct Frame {
+  std::uint32_t flow_id = 0;  ///< CAN arbitration id / stream identifier.
+  NodeId src = 0;
+  NodeId dst = kBroadcast;
+  Priority priority = kPriorityLowest;
+  std::vector<std::uint8_t> payload;
+
+  // Bookkeeping stamped by the media models; latency = delivered - enqueued.
+  sim::Time enqueued_at = 0;
+  sim::Time delivered_at = 0;
+  std::uint64_t seq = 0;  ///< unique per-medium transmission counter
+
+  std::size_t payload_size() const { return payload.size(); }
+};
+
+}  // namespace dynaplat::net

@@ -1,0 +1,105 @@
+// Abstract communication medium.
+//
+// A Medium accepts frames from attached nodes and delivers them later
+// according to its timing model (arbitration, queuing, gating). All media are
+// event-driven on the shared sim::Simulator, so cross-medium scenarios (CAN
+// body bus + Ethernet backbone) compose naturally.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace dynaplat::net {
+
+using ReceiveHandler = std::function<void(const Frame&)>;
+
+class Medium {
+ public:
+  explicit Medium(sim::Simulator& simulator, std::string name)
+      : sim_(simulator), name_(std::move(name)) {}
+  virtual ~Medium() = default;
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a node; `handler` is invoked at delivery time.
+  void attach(NodeId node, ReceiveHandler handler) {
+    receivers_[node] = std::move(handler);
+    on_attach(node);
+  }
+  void detach(NodeId node) { receivers_.erase(node); }
+  bool attached(NodeId node) const { return receivers_.count(node) > 0; }
+
+  /// Submits a frame for transmission. The medium stamps enqueued_at.
+  virtual void send(Frame frame) = 0;
+
+  /// Largest payload a single frame may carry (segmentation is the
+  /// transport layer's job; see middleware::Transport).
+  virtual std::size_t max_payload() const = 0;
+
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// End-to-end frame latency samples (enqueue -> delivery), nanoseconds.
+  const sim::Stats& latency_stats() const { return latency_stats_; }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+  /// Fault injection (XiL, Sec. 2.4): drop each frame with probability
+  /// `loss_rate` at submission. Deterministic in `seed`.
+  void set_fault_injection(double loss_rate, std::uint64_t seed = 99) {
+    loss_rate_ = loss_rate;
+    fault_rng_ = sim::Random(seed);
+  }
+
+ protected:
+  /// Notifies a concrete medium that a node joined (e.g. the Ethernet switch
+  /// provisions an egress port so broadcast flooding reaches the node).
+  virtual void on_attach(NodeId node) { (void)node; }
+
+  /// Delivers to the destination (or floods on broadcast), excluding `src`.
+  void deliver(Frame frame) {
+    frame.delivered_at = sim_.now();
+    latency_stats_.add(
+        static_cast<double>(frame.delivered_at - frame.enqueued_at));
+    ++frames_delivered_;
+    if (frame.dst == kBroadcast) {
+      for (auto& [node, handler] : receivers_) {
+        if (node != frame.src && handler) handler(frame);
+      }
+    } else {
+      auto it = receivers_.find(frame.dst);
+      if (it != receivers_.end() && it->second) it->second(frame);
+    }
+  }
+
+  void count_drop() { ++frames_dropped_; }
+
+  /// Subclasses call this at the top of send(); true means the frame was
+  /// consumed by fault injection.
+  bool inject_drop() {
+    if (loss_rate_ > 0.0 && fault_rng_.chance(loss_rate_)) {
+      count_drop();
+      return true;
+    }
+    return false;
+  }
+
+  sim::Simulator& sim_;
+
+ private:
+  std::string name_;
+  std::map<NodeId, ReceiveHandler> receivers_;
+  sim::Stats latency_stats_;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  double loss_rate_ = 0.0;
+  sim::Random fault_rng_{99};
+};
+
+}  // namespace dynaplat::net

@@ -1,0 +1,57 @@
+#include "net/router.hpp"
+
+namespace dynaplat::net {
+
+Router::Router(Medium& a, NodeId node_a, Medium& b, NodeId node_b,
+               WorkSubmitter submit)
+    : a_(a), b_(b), node_a_(node_a), node_b_(node_b),
+      submit_(std::move(submit)) {
+  a_.attach(node_a_, [this](const Frame& frame) {
+    forward(frame, rules_ab_, b_, node_b_);
+  });
+  b_.attach(node_b_, [this](const Frame& frame) {
+    forward(frame, rules_ba_, a_, node_a_);
+  });
+}
+
+Router::~Router() {
+  a_.detach(node_a_);
+  b_.detach(node_b_);
+}
+
+void Router::forward(const Frame& frame, const std::vector<RouteRule>& rules,
+                     Medium& target, NodeId egress_node) {
+  const RouteRule* matched = nullptr;
+  for (const auto& rule : rules) {
+    if (rule.matches(frame.flow_id)) {
+      matched = &rule;
+      break;
+    }
+  }
+  if (matched == nullptr) {
+    ++filtered_;
+    return;
+  }
+  if (frame.payload.size() > target.max_payload()) {
+    ++oversize_;
+    return;
+  }
+  Frame out;
+  out.flow_id = frame.flow_id;
+  out.src = egress_node;
+  out.dst = matched->destination;
+  out.priority = matched->remap_priority.value_or(frame.priority);
+  out.payload = frame.payload;
+
+  auto send = [&target, out = std::move(out), this]() mutable {
+    ++forwarded_;
+    target.send(std::move(out));
+  };
+  if (submit_) {
+    submit_(std::move(send));
+  } else {
+    send();
+  }
+}
+
+}  // namespace dynaplat::net

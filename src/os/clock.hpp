@@ -1,0 +1,45 @@
+// Per-ECU local clock with drift.
+//
+// Real ECUs free-run on their own oscillators; the paper's warning about
+// centrally-switched updates (Sec. 3.2) is precisely that two ECUs' notions
+// of "time T" differ. LocalClock maps the global simulated time to a local
+// time with a constant frequency error (ppm) and an adjustable offset; the
+// residual difference to global time is the ground-truth sync error that
+// platform::ClockSyncService tries to drive to zero.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dynaplat::os {
+
+class LocalClock {
+ public:
+  /// `drift_ppm` > 0 means this clock runs fast.
+  LocalClock(sim::Simulator& simulator, double drift_ppm,
+             sim::Duration initial_offset = 0)
+      : sim_(simulator), drift_ppm_(drift_ppm), offset_(initial_offset) {}
+
+  /// Local time reading.
+  sim::Time now() const {
+    const double skew = 1.0 + drift_ppm_ * 1e-6;
+    return offset_ + static_cast<sim::Time>(
+                         static_cast<double>(sim_.now()) * skew);
+  }
+
+  /// Step correction applied by a sync protocol.
+  void adjust(sim::Duration delta) { offset_ += delta; }
+
+  /// Ground truth error (local - global); measurement-only, a real node
+  /// cannot observe this.
+  sim::Duration true_error() const { return now() - sim_.now(); }
+
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  sim::Simulator& sim_;
+  double drift_ppm_;
+  sim::Duration offset_;
+};
+
+}  // namespace dynaplat::os

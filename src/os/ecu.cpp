@@ -1,0 +1,87 @@
+#include "os/ecu.hpp"
+
+#include <algorithm>
+
+namespace dynaplat::os {
+
+std::unique_ptr<Scheduler> default_scheduler_for(OsKind os) {
+  switch (os) {
+    case OsKind::kRtos:
+      return make_fixed_priority();
+    case OsKind::kGeneralPurpose:
+      return make_fair();
+  }
+  return make_fixed_priority();
+}
+
+Ecu::Ecu(sim::Simulator& simulator, EcuConfig config, net::Medium* medium,
+         net::NodeId node, sim::Trace* trace)
+    : sim_(simulator),
+      config_(std::move(config)),
+      medium_(medium),
+      node_(node),
+      trace_(trace) {
+  const int cores = std::max(config_.cores, 1);
+  for (int core = 0; core < cores; ++core) {
+    const std::string core_name =
+        cores == 1 ? config_.name
+                   : config_.name + "/core" + std::to_string(core);
+    processors_.push_back(std::make_unique<Processor>(
+        sim_, core_name, config_.cpu, default_scheduler_for(config_.os),
+        trace_, config_.seed + static_cast<std::uint64_t>(core)));
+  }
+  memory_ = std::make_unique<MemoryManager>(config_.memory_bytes,
+                                            config_.has_mmu, trace_,
+                                            config_.name);
+  if (medium_ != nullptr) {
+    medium_->attach(node_, [this](const net::Frame& frame) {
+      if (!failed_ && receive_handler_) receive_handler_(frame);
+    });
+  }
+}
+
+Ecu::~Ecu() {
+  if (medium_ != nullptr) medium_->detach(node_);
+}
+
+void Ecu::send(net::Frame frame) {
+  if (failed_ || medium_ == nullptr) return;
+  frame.src = node_;
+  medium_->send(std::move(frame));
+}
+
+void Ecu::set_receive_handler(net::ReceiveHandler handler) {
+  receive_handler_ = std::move(handler);
+}
+
+void Ecu::fail() {
+  if (failed_) return;
+  failed_ = true;
+  for (auto& processor : processors_) processor->halt();
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), sim::TraceCategory::kFault, config_.name,
+                   "ecu_failed");
+  }
+}
+
+void Ecu::recover() {
+  if (!failed_) return;
+  failed_ = false;
+  // Fresh processors: the old ones' state died with the fault.
+  const std::size_t cores = processors_.size();
+  processors_.clear();
+  for (std::size_t core = 0; core < cores; ++core) {
+    const std::string core_name =
+        cores == 1 ? config_.name
+                   : config_.name + "/core" + std::to_string(core);
+    processors_.push_back(std::make_unique<Processor>(
+        sim_, core_name, config_.cpu, default_scheduler_for(config_.os),
+        trace_, config_.seed + 100 + static_cast<std::uint64_t>(core)));
+  }
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), sim::TraceCategory::kFault, config_.name,
+                   "ecu_recovered");
+  }
+}
+
+}  // namespace dynaplat::os

@@ -1,0 +1,69 @@
+#include "os/memory.hpp"
+
+#include <stdexcept>
+
+namespace dynaplat::os {
+
+MemoryManager::MemoryManager(std::size_t total_bytes, bool has_mmu,
+                             sim::Trace* trace, std::string ecu_name)
+    : total_(total_bytes),
+      has_mmu_(has_mmu),
+      trace_(trace),
+      ecu_name_(std::move(ecu_name)) {}
+
+ProcessId MemoryManager::create_process(std::string name, std::size_t quota) {
+  if (quota > available()) return kInvalidProcess;
+  const ProcessId id = next_id_++;
+  reserved_ += quota;
+  processes_.emplace(id, ProcessInfo{std::move(name), quota, 0});
+  return id;
+}
+
+void MemoryManager::destroy_process(ProcessId id) {
+  auto it = processes_.find(id);
+  if (it == processes_.end()) return;
+  reserved_ -= it->second.quota;
+  processes_.erase(it);
+}
+
+bool MemoryManager::allocate(ProcessId id, std::size_t bytes) {
+  auto it = processes_.find(id);
+  if (it == processes_.end()) return false;
+  if (it->second.used + bytes > it->second.quota) return false;
+  it->second.used += bytes;
+  return true;
+}
+
+void MemoryManager::deallocate(ProcessId id, std::size_t bytes) {
+  auto it = processes_.find(id);
+  if (it == processes_.end()) return;
+  it->second.used = bytes > it->second.used ? 0 : it->second.used - bytes;
+}
+
+AccessResult MemoryManager::access(ProcessId accessor, ProcessId owner) {
+  if (accessor == owner || accessor == kKernelProcess) {
+    return AccessResult::kGranted;
+  }
+  if (has_mmu_) {
+    ++faults_;
+    if (trace_ != nullptr) {
+      trace_->record(0, sim::TraceCategory::kFault, ecu_name_ + "/mmu",
+                     "memory_fault", static_cast<std::int64_t>(accessor));
+    }
+    return AccessResult::kFaulted;
+  }
+  ++corruptions_;
+  if (trace_ != nullptr) {
+    trace_->record(0, sim::TraceCategory::kFault, ecu_name_ + "/memory",
+                   "silent_corruption", static_cast<std::int64_t>(accessor));
+  }
+  return AccessResult::kSilentCorruption;
+}
+
+const ProcessInfo& MemoryManager::info(ProcessId id) const {
+  auto it = processes_.find(id);
+  if (it == processes_.end()) throw std::out_of_range("unknown process");
+  return it->second;
+}
+
+}  // namespace dynaplat::os

@@ -1,0 +1,72 @@
+// Process memory separation model (paper Sec. 3.1 "Memory").
+//
+// Freedom from interference requires applications to live in separate
+// processes with MMU-backed isolation. This model tracks per-process memory
+// quotas and adjudicates access attempts: with the MMU enabled a foreign
+// access faults (and is traced); without an MMU it silently corrupts — the
+// hazard the paper says forces an MMU into the hardware requirements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace dynaplat::os {
+
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kInvalidProcess = 0;
+inline constexpr ProcessId kKernelProcess = 0xFFFFFFFFu;
+
+enum class AccessResult : std::uint8_t {
+  kGranted,          ///< own region or kernel
+  kFaulted,          ///< MMU trapped a foreign access
+  kSilentCorruption  ///< no MMU: foreign write went through
+};
+
+struct ProcessInfo {
+  std::string name;
+  std::size_t quota = 0;  ///< reserved bytes
+  std::size_t used = 0;   ///< currently allocated
+};
+
+class MemoryManager {
+ public:
+  MemoryManager(std::size_t total_bytes, bool has_mmu,
+                sim::Trace* trace = nullptr, std::string ecu_name = {});
+
+  /// Reserves `quota` bytes for a new process. Returns kInvalidProcess when
+  /// the remaining physical memory cannot back the quota.
+  ProcessId create_process(std::string name, std::size_t quota);
+  void destroy_process(ProcessId id);
+  bool exists(ProcessId id) const { return processes_.count(id) > 0; }
+
+  /// Heap allocation within the process quota.
+  bool allocate(ProcessId id, std::size_t bytes);
+  void deallocate(ProcessId id, std::size_t bytes);
+
+  /// Models process `accessor` touching memory owned by `owner`.
+  AccessResult access(ProcessId accessor, ProcessId owner);
+
+  const ProcessInfo& info(ProcessId id) const;
+  std::size_t total() const { return total_; }
+  std::size_t reserved() const { return reserved_; }
+  std::size_t available() const { return total_ - reserved_; }
+  bool has_mmu() const { return has_mmu_; }
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  std::size_t total_;
+  bool has_mmu_;
+  sim::Trace* trace_;
+  std::string ecu_name_;
+  std::size_t reserved_ = 0;
+  ProcessId next_id_ = 1;
+  std::map<ProcessId, ProcessInfo> processes_;
+  std::uint64_t faults_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace dynaplat::os

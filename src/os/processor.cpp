@@ -1,0 +1,311 @@
+#include "os/processor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dynaplat::os {
+
+Processor::Processor(sim::Simulator& simulator, std::string name,
+                     CpuModel cpu, std::unique_ptr<Scheduler> scheduler,
+                     sim::Trace* trace, std::uint64_t seed)
+    : sim_(simulator),
+      name_(std::move(name)),
+      cpu_(cpu),
+      scheduler_(std::move(scheduler)),
+      trace_(trace),
+      rng_(seed),
+      // A context switch costs ~1000 instructions on a typical automotive
+      // microcontroller; expressed through the CPU model so slow ECUs pay
+      // proportionally more.
+      context_switch_cost_(cpu.duration_for(1000)) {
+  assert(scheduler_ != nullptr);
+}
+
+Processor::~Processor() { halt(); }
+
+void Processor::trace_event(const std::string& task, const char* event,
+                            std::int64_t value) {
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), sim::TraceCategory::kTask, name_ + "/" + task,
+                   event, value);
+  }
+}
+
+TaskId Processor::add_task(TaskConfig config, JobBody body) {
+  const TaskId id = next_task_id_++;
+  TaskState state;
+  state.config = std::move(config);
+  state.body = std::move(body);
+  tasks_.emplace(id, std::move(state));
+  if (started_ && !halted_ && tasks_[id].config.period > 0) {
+    auto& ts = tasks_[id];
+    const sim::Duration period = ts.config.period;
+    sim::Time first = ts.config.offset;
+    if (first < sim_.now()) {
+      const sim::Time k = (sim_.now() - ts.config.offset + period - 1) / period;
+      first = ts.config.offset + k * period;
+    }
+    ts.recurrence =
+        sim_.schedule_every(first, period, [this, id] { on_release(id); });
+  }
+  return id;
+}
+
+void Processor::remove_task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  if (it->second.recurrence.valid()) sim_.cancel(it->second.recurrence);
+  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                              [id](const ReadyJob& j) { return j.task == id; }),
+               ready_.end());
+  if (running_ && running_->job.task == id) {
+    sim_.cancel(running_->completion);
+    running_.reset();
+    tasks_.erase(it);
+    reevaluate();
+    return;
+  }
+  tasks_.erase(it);
+}
+
+void Processor::start() {
+  if (started_) return;
+  started_ = true;
+  started_at_ = sim_.now();
+  for (auto& [id, task] : tasks_) {
+    if (task.config.period <= 0 || task.recurrence.valid()) continue;
+    const sim::Duration period = task.config.period;
+    sim::Time first = task.config.offset;
+    if (first < sim_.now()) {
+      const sim::Time k =
+          (sim_.now() - task.config.offset + period - 1) / period;
+      first = task.config.offset + k * period;
+    }
+    const TaskId tid = id;
+    task.recurrence =
+        sim_.schedule_every(first, period, [this, tid] { on_release(tid); });
+  }
+}
+
+void Processor::halt() {
+  halted_ = true;
+  for (auto& [id, task] : tasks_) {
+    if (task.recurrence.valid()) {
+      sim_.cancel(task.recurrence);
+      task.recurrence = {};
+    }
+  }
+  ready_.clear();
+  if (running_) {
+    sim_.cancel(running_->completion);
+    running_.reset();
+  }
+  if (kick_.valid()) {
+    sim_.cancel(kick_);
+    kick_ = {};
+  }
+}
+
+void Processor::release(TaskId id) {
+  if (!halted_) on_release(id);
+}
+
+void Processor::submit(std::string name, std::uint64_t instructions,
+                       int priority, TaskClass task_class,
+                       JobBody on_complete) {
+  if (halted_) return;
+  TaskConfig config;
+  config.name = std::move(name);
+  config.task_class = task_class;
+  config.period = 0;
+  config.instructions = instructions;
+  config.priority = priority;
+  const TaskId id = add_task(std::move(config), std::move(on_complete));
+  tasks_[id].one_shot = true;
+  on_release(id);
+}
+
+void Processor::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  assert(scheduler != nullptr);
+  scheduler_ = std::move(scheduler);
+  if (!halted_) reevaluate();
+}
+
+sim::Duration Processor::sample_execution_time(const TaskState& task) {
+  double factor = 1.0;
+  const double jitter = task.config.execution_jitter;
+  if (jitter > 0.0) factor += rng_.uniform(-jitter, jitter);
+  const auto instructions = static_cast<std::uint64_t>(
+      static_cast<double>(task.config.instructions) * factor);
+  return cpu_.duration_for(std::max<std::uint64_t>(instructions, 1));
+}
+
+void Processor::on_release(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end() || halted_) return;
+  TaskState& task = it->second;
+  ++task.stats.releases;
+  ++task.release_count;
+
+  ReadyJob job;
+  job.task = id;
+  job.task_class = task.config.task_class;
+  job.priority = task.config.priority;
+  job.release = sim_.now();
+  const sim::Duration deadline = task.config.effective_deadline();
+  job.absolute_deadline =
+      deadline > 0 ? sim_.now() + deadline : sim::kTimeNever;
+  job.remaining = sample_execution_time(task);
+  job.sequence = next_job_sequence_++;
+  ready_.push_back(job);
+  trace_event(task.config.name, "release");
+  reevaluate();
+}
+
+void Processor::on_complete() {
+  assert(running_.has_value());
+  RunningJob done = *running_;
+  running_.reset();
+  busy_time_ += sim_.now() - done.started;
+
+  auto it = tasks_.find(done.job.task);
+  if (it != tasks_.end()) {
+    TaskState& task = it->second;
+    instructions_retired_ += task.config.instructions;
+    ++task.stats.completions;
+    const sim::Duration response = sim_.now() - done.job.release;
+    task.stats.response_time.add(static_cast<double>(response));
+    if (task.config.period > 0) {
+      task.stats.completion_jitter.add(
+          static_cast<double>((sim_.now() - done.job.release) %
+                              task.config.period));
+    }
+    auto first_cpu = first_cpu_at_.find(done.job.task);
+    if (first_cpu != first_cpu_at_.end()) {
+      task.stats.activation_jitter.add(
+          static_cast<double>(first_cpu->second - done.job.release));
+      first_cpu_at_.erase(first_cpu);
+    }
+    const bool missed = done.job.absolute_deadline != sim::kTimeNever &&
+                        sim_.now() > done.job.absolute_deadline;
+    if (missed) {
+      ++task.stats.deadline_misses;
+      trace_event(task.config.name, "deadline_miss",
+                  sim_.now() - done.job.absolute_deadline);
+    }
+    trace_event(task.config.name, "complete",
+                static_cast<std::int64_t>(response));
+    // Copy the body out: one-shot removal below invalidates `task`.
+    JobBody body = task.body;
+    const bool one_shot = task.one_shot;
+    if (one_shot) tasks_.erase(it);
+    if (body) body();
+  }
+  reevaluate();
+}
+
+void Processor::reevaluate() {
+  if (halted_) return;
+  // Freeze the running job (if preemption is allowed) so the scheduler sees
+  // a uniform ready list.
+  if (running_) {
+    if (!scheduler_->preemptive()) return;
+    sim_.cancel(running_->completion);
+    ReadyJob job = running_->job;
+    const sim::Duration ran = sim_.now() - running_->started;
+    busy_time_ += ran;
+    job.remaining -= ran;
+    if (job.remaining < 1) job.remaining = 1;  // completion races the kick
+    ready_.push_back(job);
+    running_.reset();
+  }
+  if (kick_.valid()) {
+    sim_.cancel(kick_);
+    kick_ = {};
+  }
+
+  const int selected = scheduler_->select(ready_, sim_.now());
+  if (selected >= 0) {
+    const auto idx = static_cast<std::size_t>(selected);
+    RunningJob run;
+    run.job = ready_[idx];
+    ready_.erase(ready_.begin() + static_cast<long>(idx));
+
+    if (last_dispatched_ != run.job.task &&
+        last_dispatched_ != kInvalidTask) {
+      run.job.remaining += context_switch_cost_;
+    }
+    // Preemption accounting: a job re-dispatched after losing the CPU.
+    auto task_it = tasks_.find(run.job.task);
+    if (task_it != tasks_.end()) {
+      auto& task = task_it->second;
+      if (first_cpu_at_.count(run.job.task) == 0) {
+        first_cpu_at_[run.job.task] = sim_.now();
+      } else if (last_dispatched_ != run.job.task) {
+        ++task.stats.preemptions;
+      }
+    }
+    last_dispatched_ = run.job.task;
+    run.started = sim_.now();
+    run.completion =
+        sim_.schedule_in(run.job.remaining, [this] { on_complete(); });
+    running_ = run;
+  }
+
+  // Wake up at the next scheduler-internal decision point (TT window edge,
+  // RR quantum expiry) if it precedes the running job's completion.
+  const sim::Time decision = scheduler_->next_decision_point(sim_.now());
+  if (decision != sim::kTimeNever) {
+    const sim::Time completion_at =
+        running_ ? running_->started + running_->job.remaining
+                 : sim::kTimeNever;
+    const bool has_waiting_work = !ready_.empty() || running_.has_value();
+    if (decision < completion_at && has_waiting_work) {
+      kick_ = sim_.schedule_at(decision, [this] {
+        kick_ = {};
+        reevaluate();
+      });
+    }
+  }
+}
+
+const TaskStats& Processor::stats(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::out_of_range("unknown task");
+  return it->second.stats;
+}
+
+const TaskConfig& Processor::config(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::out_of_range("unknown task");
+  return it->second.config;
+}
+
+std::vector<TaskId> Processor::task_ids() const {
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) ids.push_back(id);
+  return ids;
+}
+
+double Processor::utilization() const {
+  double u = 0.0;
+  for (const auto& [id, task] : tasks_) {
+    if (task.config.period > 0) {
+      u += static_cast<double>(cpu_.duration_for(task.config.instructions)) /
+           static_cast<double>(task.config.period);
+    }
+  }
+  return u;
+}
+
+double Processor::busy_fraction() const {
+  const sim::Duration elapsed = sim_.now() - started_at_;
+  if (elapsed <= 0) return 0.0;
+  sim::Duration busy = busy_time_;
+  if (running_) busy += sim_.now() - running_->started;
+  return static_cast<double>(busy) / static_cast<double>(elapsed);
+}
+
+}  // namespace dynaplat::os

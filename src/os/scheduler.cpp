@@ -1,0 +1,146 @@
+#include "os/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynaplat::os {
+
+int FixedPriorityScheduler::select(const std::vector<ReadyJob>& ready,
+                                   sim::Time /*now*/) {
+  int best = -1;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const ReadyJob& b = ready[static_cast<std::size_t>(best)];
+    if (ready[i].priority < b.priority ||
+        (ready[i].priority == b.priority && ready[i].sequence < b.sequence)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int EdfScheduler::select(const std::vector<ReadyJob>& ready,
+                         sim::Time /*now*/) {
+  int best = -1;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const ReadyJob& b = ready[static_cast<std::size_t>(best)];
+    if (ready[i].absolute_deadline < b.absolute_deadline ||
+        (ready[i].absolute_deadline == b.absolute_deadline &&
+         ready[i].sequence < b.sequence)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int FairScheduler::select(const std::vector<ReadyJob>& ready, sim::Time now) {
+  if (ready.empty()) return -1;
+  // Rotate through ready jobs; the cursor advances every quantum expiry.
+  const auto idx = static_cast<std::size_t>(rr_cursor_ % ready.size());
+  if (now >= slice_end_) {
+    ++rr_cursor_;
+    slice_end_ = now + quantum_;
+    return static_cast<int>(rr_cursor_ % ready.size());
+  }
+  return static_cast<int>(idx);
+}
+
+sim::Time FairScheduler::next_decision_point(sim::Time now) const {
+  return std::max(slice_end_, now + 1);
+}
+
+TimeTriggeredScheduler::TimeTriggeredScheduler(sim::Duration cycle,
+                                               std::vector<TtWindow> table)
+    : cycle_(cycle) {
+  install_table(cycle, std::move(table));
+}
+
+void TimeTriggeredScheduler::install_table(sim::Duration cycle,
+                                           std::vector<TtWindow> table) {
+  assert(cycle > 0);
+  cycle_ = cycle;
+  table_ = std::move(table);
+  std::sort(table_.begin(), table_.end(),
+            [](const TtWindow& a, const TtWindow& b) {
+              return a.offset < b.offset;
+            });
+  for (const auto& w : table_) {
+    assert(w.offset + w.length <= cycle_ && "window exceeds cycle");
+    (void)w;
+  }
+}
+
+const TtWindow* TimeTriggeredScheduler::active_window(sim::Time now) const {
+  const sim::Duration phase = now % cycle_;
+  for (const auto& w : table_) {
+    if (phase >= w.offset && phase < w.offset + w.length) return &w;
+  }
+  return nullptr;
+}
+
+int TimeTriggeredScheduler::select(const std::vector<ReadyJob>& ready,
+                                   sim::Time now) {
+  const TtWindow* window = active_window(now);
+  if (window != nullptr) {
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (ready[i].task == window->task) return static_cast<int>(i);
+    }
+    // Window owner not ready: the window stays reserved (no background
+    // stealing inside DA windows keeps DA activation latency independent of
+    // queue state; the cost is some idle time).
+    return -1;
+  }
+  // Outside any window: background jobs in fixed-priority order, but never a
+  // task that owns a window (it runs only in its slots).
+  int best = -1;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    bool owns_window = false;
+    for (const auto& w : table_) {
+      if (w.task == ready[i].task) {
+        owns_window = true;
+        break;
+      }
+    }
+    if (owns_window) continue;
+    if (best < 0 ||
+        ready[i].priority < ready[static_cast<std::size_t>(best)].priority) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+sim::Time TimeTriggeredScheduler::next_decision_point(sim::Time now) const {
+  // Next window edge (start or end) strictly after `now`.
+  const sim::Time cycle_start = (now / cycle_) * cycle_;
+  sim::Time next = cycle_start + cycle_;  // next cycle boundary
+  for (int k = 0; k < 2; ++k) {
+    const sim::Time base = cycle_start + k * cycle_;
+    for (const auto& w : table_) {
+      const sim::Time edges[2] = {base + w.offset, base + w.offset + w.length};
+      for (sim::Time e : edges) {
+        if (e > now) next = std::min(next, e);
+      }
+    }
+  }
+  return next;
+}
+
+std::unique_ptr<Scheduler> make_fixed_priority() {
+  return std::make_unique<FixedPriorityScheduler>();
+}
+std::unique_ptr<Scheduler> make_edf() {
+  return std::make_unique<EdfScheduler>();
+}
+std::unique_ptr<Scheduler> make_fair(sim::Duration quantum) {
+  return std::make_unique<FairScheduler>(quantum);
+}
+
+}  // namespace dynaplat::os

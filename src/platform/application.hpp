@@ -1,0 +1,79 @@
+// Application programming model of the dynamic platform (paper Sec. 1.1).
+//
+// An application is "the smallest unit of addition and update". Concrete
+// apps subclass Application; the platform instantiates them from registered
+// factories, binds their modeled tasks to the ECU scheduler and hands them
+// an AppContext for service-oriented communication. The state-transfer
+// hooks (serialize_state / restore_state) are what makes the staged update
+// protocol of Sec. 3.2 possible, and the active flag is how updates and
+// redundancy managers switch traffic between coexisting instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "middleware/runtime.hpp"
+#include "model/types.hpp"
+
+namespace dynaplat::platform {
+
+class PlatformNode;
+
+/// Execution context handed to an application at start. Stable for the
+/// lifetime of the instance.
+struct AppContext {
+  PlatformNode* node = nullptr;
+  const model::AppDef* def = nullptr;
+  middleware::ServiceRuntime* comm = nullptr;
+  sim::Simulator* simulator = nullptr;
+
+  /// Service id of a modeled interface (platform-wide registry).
+  middleware::ServiceId service_id(const std::string& interface_name) const;
+  /// Network priority derived from the interface's criticality.
+  net::Priority priority_of(const std::string& interface_name) const;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called when the instance starts (tasks are already scheduled).
+  virtual void on_start(const AppContext& context) { context_ = context; }
+
+  /// Called on each completion of the app's modeled task `task_name`.
+  virtual void on_task(const std::string& task_name) { (void)task_name; }
+
+  /// Called before the instance's tasks are removed.
+  virtual void on_stop() {}
+
+  /// State transfer for staged updates and replica synchronization
+  /// (Sec. 3.2 step 2, Sec. 3.3). Default: stateless.
+  virtual std::vector<std::uint8_t> serialize_state() { return {}; }
+  virtual void restore_state(const std::vector<std::uint8_t>& state) {
+    (void)state;
+  }
+
+  /// Whether this instance owns its outputs. Shadow instances (during an
+  /// update's parallel phase) and standby replicas run with active == false
+  /// and must not publish or actuate.
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  const AppContext& context() const { return context_; }
+
+ protected:
+  AppContext context_;
+
+ private:
+  bool active_ = true;
+};
+
+/// Creates a fresh instance of an application version. Registered with the
+/// platform's package registry; in a real vehicle this is the dynamically
+/// loaded binary entry point.
+using AppFactory = std::function<std::unique_ptr<Application>()>;
+
+}  // namespace dynaplat::platform

@@ -1,0 +1,57 @@
+#include "platform/diagnostics.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace dynaplat::platform {
+
+void DiagnosticsService::attach(PlatformNode& node) {
+  nodes_.push_back(&node);
+  const std::string ecu_name = node.ecu().name();
+  node.monitor().set_report_sink(
+      [this, ecu_name](const monitor::FaultRecord& record) {
+        submit(ecu_name, record);
+      });
+}
+
+void DiagnosticsService::submit(const std::string& ecu,
+                                const monitor::FaultRecord& record) {
+  store_.push_back(record);
+  store_sources_.push_back(ecu);
+  if (online_ && uplink_) {
+    uplink_(record);
+    ++uplinked_;
+  } else {
+    pending_.push_back(record);
+  }
+}
+
+void DiagnosticsService::set_online(bool online) {
+  online_ = online;
+  if (online_ && uplink_) {
+    while (!pending_.empty()) {
+      uplink_(pending_.front());
+      pending_.pop_front();
+      ++uplinked_;
+    }
+  }
+}
+
+std::string DiagnosticsService::vehicle_report() const {
+  std::ostringstream os;
+  os << "# vehicle diagnostic report\n";
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    ++counts[{store_sources_[i], store_[i].kind}];
+  }
+  os << "# faults by (ecu, kind):\n";
+  for (const auto& [key, count] : counts) {
+    os << key.first << " " << key.second << " " << count << "\n";
+  }
+  for (PlatformNode* node : nodes_) {
+    os << node->monitor().certification_report();
+  }
+  return os.str();
+}
+
+}  // namespace dynaplat::platform

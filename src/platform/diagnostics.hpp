@@ -1,0 +1,62 @@
+// Vehicle-level diagnostics service (paper Sec. 1.1: "logging, persistence
+// services, and diagnosis, which is especially important to the automotive
+// industry"; Sec. 3.4: faults + conditions are transferred to the
+// manufacturer when a connection exists).
+//
+// Aggregates every node monitor's fault records into one vehicle store,
+// models the intermittent backend uplink (reports queue while offline and
+// flush on reconnect) and renders the fleet-facing diagnostic report.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "monitor/runtime_monitor.hpp"
+#include "platform/platform.hpp"
+
+namespace dynaplat::platform {
+
+class DiagnosticsService {
+ public:
+  explicit DiagnosticsService(DynamicPlatform& platform)
+      : platform_(platform) {}
+
+  /// Hooks a node's monitor: its fault records flow into this service.
+  void attach(PlatformNode& node);
+
+  /// Models the vehicle's internet connection state. While offline,
+  /// reports queue; on reconnect the backlog flushes to the uplink sink.
+  void set_online(bool online);
+  bool online() const { return online_; }
+
+  /// The manufacturer backend endpoint.
+  void set_uplink(std::function<void(const monitor::FaultRecord&)> uplink) {
+    uplink_ = std::move(uplink);
+  }
+
+  const std::vector<monitor::FaultRecord>& all_faults() const {
+    return store_;
+  }
+  std::size_t queued_for_uplink() const { return pending_.size(); }
+  std::uint64_t uplinked() const { return uplinked_; }
+
+  /// Vehicle-wide diagnostic summary: per-ECU fault counts by kind plus
+  /// each node's certification dataset (Sec. 3.4).
+  std::string vehicle_report() const;
+
+ private:
+  void submit(const std::string& ecu, const monitor::FaultRecord& record);
+
+  DynamicPlatform& platform_;
+  std::vector<PlatformNode*> nodes_;
+  std::vector<monitor::FaultRecord> store_;
+  std::vector<std::string> store_sources_;
+  std::deque<monitor::FaultRecord> pending_;
+  std::function<void(const monitor::FaultRecord&)> uplink_;
+  bool online_ = true;
+  std::uint64_t uplinked_ = 0;
+};
+
+}  // namespace dynaplat::platform

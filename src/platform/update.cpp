@@ -1,0 +1,257 @@
+#include "platform/update.hpp"
+
+#include <memory>
+
+namespace dynaplat::platform {
+namespace {
+
+std::string versioned_label(const model::AppDef& def) {
+  return def.name + "#v" + std::to_string(def.version);
+}
+
+std::uint64_t shadow_misses(PlatformNode& node, const std::string& label) {
+  const AppInstance* inst = node.instance(label);
+  if (inst == nullptr) return 0;
+  std::uint64_t misses = 0;
+  auto& cpu = node.ecu().processor(inst->core);
+  for (os::TaskId task : inst->tasks) {
+    if (cpu.has_task(task)) misses += cpu.stats(task).deadline_misses;
+  }
+  return misses;
+}
+
+}  // namespace
+
+void UpdateManager::staged_update(PlatformNode& node,
+                                  const std::string& current_label,
+                                  model::AppDef new_def, AppFactory factory,
+                                  UpdateConfig config, Done done) {
+  auto report = std::make_shared<UpdateReport>();
+  report->strategy = "staged";
+  report->app = new_def.name;
+  report->started = platform_.simulator().now();
+  report->serving_label = current_label;
+  const std::string new_label = versioned_label(new_def);
+
+  // Package verification runs while the old version still serves: no
+  // ownership gap accrues here.
+  node.ecu().processor().submit(
+      "pkg_verify", config.preinstall_instructions, 9,
+      os::TaskClass::kNonDeterministic,
+      [this, &node, current_label, new_def, new_label, factory, config,
+       done, report]() mutable {
+        auto& simulator = platform_.simulator();
+        // Phase 1: start the new version in parallel (shadow).
+        report->phase_reached = 1;
+        std::string why;
+        const std::string suffix = "#v" + std::to_string(new_def.version);
+        if (!node.install(new_def, factory, &why, suffix) ||
+            !node.start(new_label, /*shadow=*/true)) {
+          report->success = false;
+          report->reason = "phase 1 failed: " + why;
+          report->finished = simulator.now();
+          done(*report);
+          return;
+        }
+        // Phase 2 after warm-up: verify shadow health, then sync state.
+        simulator.schedule_in(config.parallel_warmup, [this, &node,
+                                                       current_label,
+                                                       new_label, config,
+                                                       done, report] {
+          auto& simulator = platform_.simulator();
+          if (config.verify_phases && shadow_misses(node, new_label) > 0) {
+            // Rollback: the new version cannot hold its deadlines here.
+            node.uninstall(new_label);
+            report->success = false;
+            report->reason = "phase 2 rollback: shadow missed deadlines";
+            report->finished = simulator.now();
+            done(*report);
+            return;
+          }
+          report->phase_reached = 2;
+          AppInstance* old_inst = node.instance(current_label);
+          AppInstance* new_inst = node.instance(new_label);
+          if (old_inst == nullptr || new_inst == nullptr) {
+            report->success = false;
+            report->reason = "phase 2 failed: instance vanished";
+            report->finished = simulator.now();
+            done(*report);
+            return;
+          }
+          const auto state = old_inst->app->serialize_state();
+          new_inst->app->restore_state(state);
+          // State transfer costs CPU proportional to its size.
+          const std::uint64_t sync_cost = 1'000 + 50ull * state.size();
+          node.ecu().processor().submit(
+              "state_sync", sync_cost, 9, os::TaskClass::kNonDeterministic,
+              [this, &node, current_label, new_label, done, report] {
+                auto& simulator = platform_.simulator();
+                // Phase 3: redirect traffic (atomic on this node).
+                report->phase_reached = 3;
+                node.redirect(current_label, new_label);
+                // Phase 4: stop and remove the old version.
+                simulator.schedule_in(sim::kMillisecond, [&node,
+                                                          current_label,
+                                                          new_label, done,
+                                                          report,
+                                                          this] {
+                  report->phase_reached = 4;
+                  node.uninstall(current_label);
+                  report->serving_label = new_label;
+                  report->success = true;
+                  report->reason = "staged update complete";
+                  report->ownership_gap = 0;  // redirect was atomic
+                  report->finished = platform_.simulator().now();
+                  done(*report);
+                });
+              });
+        });
+      });
+}
+
+void UpdateManager::stop_restart_update(PlatformNode& node,
+                                        const std::string& current_label,
+                                        model::AppDef new_def,
+                                        AppFactory factory,
+                                        UpdateConfig config, Done done) {
+  auto report = std::make_shared<UpdateReport>();
+  report->strategy = "stop_restart";
+  report->app = new_def.name;
+  report->started = platform_.simulator().now();
+  const std::string new_label = versioned_label(new_def);
+
+  // Service goes down immediately.
+  node.uninstall(current_label);
+  const sim::Time down_since = platform_.simulator().now();
+
+  // Verification/flash happens inside the outage.
+  node.ecu().processor().submit(
+      "pkg_verify", config.preinstall_instructions, 9,
+      os::TaskClass::kNonDeterministic,
+      [this, &node, new_def, new_label, factory, done, report,
+       down_since]() mutable {
+        std::string why;
+        if (!node.install(new_def, factory, &why,
+                          "#v" + std::to_string(new_def.version)) ||
+            !node.start(new_label)) {
+          report->success = false;
+          report->reason = "reinstall failed: " + why;
+          report->finished = platform_.simulator().now();
+          report->ownership_gap = report->finished - down_since;
+          done(*report);
+          return;
+        }
+        report->success = true;
+        report->serving_label = new_label;
+        report->reason = "stop-restart complete";
+        report->finished = platform_.simulator().now();
+        report->ownership_gap = report->finished - down_since;
+        done(*report);
+      });
+}
+
+void UpdateManager::distributed_update(std::vector<UpdateStep> path,
+                                       UpdateConfig config,
+                                       DistributedDone done) {
+  auto report = std::make_shared<DistributedReport>();
+  if (path.empty()) {
+    report->success = true;
+    report->reason = "empty path";
+    done(*report);
+    return;
+  }
+  auto shared_path =
+      std::make_shared<std::vector<UpdateStep>>(std::move(path));
+  run_distributed_step(shared_path, 0, config, report, std::move(done));
+}
+
+void UpdateManager::run_distributed_step(
+    std::shared_ptr<std::vector<UpdateStep>> path, std::size_t index,
+    UpdateConfig config, std::shared_ptr<DistributedReport> report,
+    DistributedDone done) {
+  if (index >= path->size()) {
+    report->success = true;
+    report->reason = "all steps complete";
+    done(*report);
+    return;
+  }
+  UpdateStep& step = (*path)[index];
+  PlatformNode* node = platform_.node(step.ecu);
+  if (node == nullptr || !node->hosts(step.current_label)) {
+    report->success = false;
+    report->reason = "step " + std::to_string(index) + ": '" +
+                     step.current_label + "' not hosted on " + step.ecu;
+    done(*report);
+    return;
+  }
+  staged_update(
+      *node, step.current_label, step.new_def, step.factory, config,
+      [this, path, index, config, report,
+       done = std::move(done)](UpdateReport step_report) mutable {
+        report->steps.push_back(step_report);
+        if (!step_report.success) {
+          report->success = false;
+          report->reason = "aborted at step " + std::to_string(index) +
+                           ": " + step_report.reason;
+          done(*report);
+          return;
+        }
+        // Soak the new intermediate configuration before touching the next
+        // component ("verifying the safety of every intermediate update
+        // step").
+        platform_.simulator().schedule_in(
+            config.parallel_warmup,
+            [this, path, index, config, report,
+             done = std::move(done)]() mutable {
+              run_distributed_step(path, index + 1, config, report,
+                                   std::move(done));
+            });
+      });
+}
+
+void UpdateManager::central_switch_update(PlatformNode& node,
+                                          const std::string& current_label,
+                                          model::AppDef new_def,
+                                          AppFactory factory,
+                                          UpdateConfig config, Done done) {
+  auto report = std::make_shared<UpdateReport>();
+  report->strategy = "central_switch";
+  report->app = new_def.name;
+  report->started = platform_.simulator().now();
+  const std::string new_label = versioned_label(new_def);
+
+  // Pre-stage the new version (shadow) like the staged protocol would --
+  // the difference under test is the *switchover*, not the staging.
+  std::string why;
+  if (!node.install(new_def, factory, &why,
+                    "#v" + std::to_string(new_def.version)) ||
+      !node.start(new_label, /*shadow=*/true)) {
+    report->success = false;
+    report->reason = "staging failed: " + why;
+    report->finished = platform_.simulator().now();
+    done(*report);
+    return;
+  }
+  auto& simulator = platform_.simulator();
+  const sim::Time switch_at = simulator.now() + config.parallel_warmup;
+  // The "stop old" and "start new" commands are issued for the same instant
+  // by the central coordinator, but arrive skewed by the clock error.
+  simulator.schedule_at(switch_at, [&node, current_label] {
+    AppInstance* old_inst = node.instance(current_label);
+    if (old_inst != nullptr) old_inst->app->set_active(false);
+  });
+  simulator.schedule_at(
+      switch_at + config.clock_error,
+      [this, &node, current_label, new_label, config, done, report] {
+        node.redirect(current_label, new_label);
+        node.uninstall(current_label);
+        report->success = true;
+        report->serving_label = new_label;
+        report->reason = "central switch complete";
+        report->ownership_gap = config.clock_error;
+        report->finished = platform_.simulator().now();
+        done(*report);
+      });
+}
+
+}  // namespace dynaplat::platform

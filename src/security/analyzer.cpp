@@ -1,0 +1,94 @@
+#include "security/analyzer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynaplat::security {
+
+std::size_t AttackGraph::add(AttackComponent component) {
+  components.push_back(std::move(component));
+  return components.size() - 1;
+}
+
+void AttackGraph::connect(std::size_t from, std::size_t to) {
+  edges.emplace_back(from, to);
+}
+
+void AttackGraph::biconnect(std::size_t a, std::size_t b) {
+  connect(a, b);
+  connect(b, a);
+}
+
+std::size_t AttackGraph::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i].name == name) return i;
+  }
+  throw std::out_of_range("unknown component '" + name + "'");
+}
+
+SecurityReport SecurityAnalyzer::analyze(const AttackGraph& graph,
+                                         int horizon) const {
+  const std::size_t n = graph.components.size();
+  // p[i] = P(component i compromised by step t). Entries start compromised
+  // with probability 1 (the attacker owns the entry surface).
+  std::vector<double> p(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.components[i].attacker_entry) p[i] = 1.0;
+  }
+
+  // Adjacency: for each node, list of predecessors.
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (const auto& [from, to] : graph.edges) preds[to].push_back(from);
+
+  double survival = 1.0;  // P(no asset compromised yet)
+  double expected_steps = 0.0;
+  double prev_asset_prob = 0.0;
+
+  auto asset_prob = [&](const std::vector<double>& probs) {
+    double none = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (graph.components[i].asset) none *= (1.0 - probs[i]);
+    }
+    return 1.0 - none;
+  };
+
+  for (int step = 1; step <= horizon; ++step) {
+    std::vector<double> next = p;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] >= 1.0) continue;
+      // P(at least one compromised predecessor exploits i this step).
+      double no_attack = 1.0;
+      for (std::size_t pred : preds[i]) {
+        no_attack *= 1.0 - p[pred] * graph.components[i].exploitability;
+      }
+      const double attack_prob = 1.0 - no_attack;
+      next[i] = p[i] + (1.0 - p[i]) * attack_prob;
+    }
+    p = std::move(next);
+    const double now_prob = asset_prob(p);
+    expected_steps += static_cast<double>(step) *
+                      std::max(0.0, now_prob - prev_asset_prob);
+    survival = 1.0 - now_prob;
+    prev_asset_prob = now_prob;
+  }
+
+  SecurityReport report;
+  report.compromise_probability = p;
+  report.asset_risk = prev_asset_prob;
+  // Mass that never compromises within the horizon sits at horizon+1.
+  report.expected_steps_to_asset =
+      expected_steps + survival * static_cast<double>(horizon + 1);
+  return report;
+}
+
+double SecurityAnalyzer::hardening_gain(const AttackGraph& graph,
+                                        std::size_t component, double factor,
+                                        int horizon) const {
+  const double before = analyze(graph, horizon).asset_risk;
+  AttackGraph hardened = graph;
+  hardened.components[component].exploitability *= factor;
+  const double after = analyze(hardened, horizon).asset_risk;
+  return before - after;
+}
+
+}  // namespace dynaplat::security

@@ -1,0 +1,190 @@
+#include "security/auth.hpp"
+
+#include <cstring>
+
+namespace dynaplat::security {
+
+void KeyServer::register_node(net::NodeId node) { nodes_.insert(node); }
+
+std::optional<SessionKey> KeyServer::session_key(net::NodeId a,
+                                                 net::NodeId b) {
+  if (!registered(a) || !registered(b)) return std::nullopt;
+  const auto key_id = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = keys_.find(key_id);
+  if (it == keys_.end()) {
+    it = keys_.emplace(key_id, drbg_.generate(32)).first;
+  }
+  return it->second;
+}
+
+void AccessMatrix::allow(net::NodeId client, middleware::ServiceId service) {
+  rules_.insert({client, service});
+}
+
+void AccessMatrix::revoke(net::NodeId client, middleware::ServiceId service) {
+  rules_.erase({client, service});
+}
+
+void AccessMatrix::allow_all(net::NodeId client) { wildcard_.insert(client); }
+
+bool AccessMatrix::allowed(net::NodeId client,
+                           middleware::ServiceId service) const {
+  return wildcard_.count(client) > 0 || rules_.count({client, service}) > 0;
+}
+
+AuthenticationService::AuthenticationService(
+    middleware::ServiceRuntime& runtime, KeyServer& key_server, AuthMode mode,
+    const AccessMatrix* access)
+    : runtime_(runtime), key_server_(key_server), mode_(mode),
+      access_(access) {
+  key_server_.register_node(runtime_.node());
+  if (mode_ != AuthMode::kNone || access_ != nullptr) {
+    runtime_.set_outbound_tagger(
+        [this](net::NodeId dst, const middleware::MessageHeader& header,
+               const std::vector<std::uint8_t>& body) {
+          return on_outbound(dst, header, body);
+        });
+    runtime_.set_inbound_filter(
+        [this](const middleware::MessageHeader& header,
+               const std::vector<std::uint8_t>& body) {
+          return on_inbound(header, body);
+        });
+  }
+}
+
+void AuthenticationService::charge_crypto(std::uint64_t instructions) {
+  auto& ecu = runtime_.ecu();
+  if (ecu.failed() || ecu.processor().halted()) return;
+  const sim::Duration cost =
+      ecu.config().cpu.duration_for_crypto(instructions);
+  // Fire-and-forget work item: occupies the CPU for `cost`, modelling the
+  // crypto throughput ceiling without serializing the message path.
+  ecu.processor().submit(
+      "crypto", static_cast<std::uint64_t>(cost) * ecu.config().cpu.mips /
+                    1000,
+      6, os::TaskClass::kNonDeterministic, {});
+}
+
+SessionKey* AuthenticationService::key_for(net::NodeId peer) {
+  auto it = session_cache_.find(peer);
+  if (it == session_cache_.end()) {
+    auto key = key_server_.session_key(runtime_.node(), peer);
+    if (!key) return nullptr;
+    // First contact with this peer: pay the asymmetric handshake once.
+    charge_crypto(KeyServer::handshake_cost());
+    ++stats_.handshakes;
+    it = session_cache_.emplace(peer, std::move(*key)).first;
+  }
+  return &it->second;
+}
+
+std::uint64_t AuthenticationService::compute_tag(
+    const middleware::MessageHeader& header,
+    const std::vector<std::uint8_t>& body, net::NodeId peer) {
+  SessionKey* key = key_for(peer);
+  if (key == nullptr) return 0;
+  // MAC over the authenticated header fields and the body.
+  middleware::PayloadWriter w;
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u16(header.service);
+  w.u16(header.element);
+  w.u32(header.session);
+  w.u32(header.sender);
+  w.raw(body.data(), body.size());
+  const crypto::Digest256 mac = crypto::hmac_sha256(*key, w.bytes());
+  std::uint64_t tag;
+  std::memcpy(&tag, mac.data(), sizeof(tag));
+  // Reserve 0 as "untagged".
+  return tag == 0 ? 1 : tag;
+}
+
+std::uint64_t AuthenticationService::on_outbound(
+    net::NodeId dst, const middleware::MessageHeader& header,
+    const std::vector<std::uint8_t>& body) {
+  if (mode_ == AuthMode::kNone) return 0;
+  // Broadcast discovery stays untagged: Offers/Finds carry no authority;
+  // bindings are authorized at subscribe/call time.
+  if (dst == net::kBroadcast ||
+      header.type == middleware::MsgType::kOffer ||
+      header.type == middleware::MsgType::kFind) {
+    return 0;
+  }
+  ++stats_.tagged;
+  if (mode_ == AuthMode::kAsymmetric) {
+    // Per-message signature: pay a private-key operation per message. The
+    // tag is modeled as the truncated digest; the CPU cost dominates.
+    charge_crypto(60'000'000);
+    const crypto::Digest256 digest =
+        crypto::Sha256::digest(body.data(), body.size());
+    std::uint64_t tag;
+    std::memcpy(&tag, digest.data(), sizeof(tag));
+    return tag == 0 ? 1 : tag;
+  }
+  charge_crypto(KeyServer::hmac_cost(body.size()));
+  // Pairwise session key with the destination; both ends derive the same
+  // key because the KeyServer canonicalizes the (a, b) pair.
+  return compute_tag(header, body, dst);
+}
+
+bool AuthenticationService::on_inbound(
+    const middleware::MessageHeader& header,
+    const std::vector<std::uint8_t>& body) {
+  // Authorization first: is this sender allowed to address this service?
+  if (access_ != nullptr) {
+    const bool discovery = header.type == middleware::MsgType::kOffer ||
+                           header.type == middleware::MsgType::kFind;
+    const bool needs_authz =
+        header.type == middleware::MsgType::kSubscribe ||
+        header.type == middleware::MsgType::kRequest;
+    if (!discovery && needs_authz &&
+        !access_->allowed(header.sender, header.service)) {
+      ++stats_.rejected_access;
+      return false;
+    }
+  }
+  if (mode_ == AuthMode::kNone) return true;
+  if (header.type == middleware::MsgType::kOffer ||
+      header.type == middleware::MsgType::kFind) {
+    return true;
+  }
+  if (mode_ == AuthMode::kAsymmetric) {
+    charge_crypto(3'000'000);  // signature verification (public exponent)
+    const crypto::Digest256 digest =
+        crypto::Sha256::digest(body.data(), body.size());
+    std::uint64_t tag;
+    std::memcpy(&tag, digest.data(), sizeof(tag));
+    if (tag == 0) tag = 1;
+    if (tag != header.auth_tag) {
+      ++stats_.rejected_tag;
+      return false;
+    }
+    ++stats_.verified;
+    return true;
+  }
+  charge_crypto(KeyServer::hmac_cost(body.size()));
+  // Verify against the sender's group key (see on_outbound).
+  middleware::MessageHeader copy = header;
+  const std::uint64_t expected = [&] {
+    SessionKey* key = key_for(header.sender);
+    if (key == nullptr) return std::uint64_t{0};
+    middleware::PayloadWriter w;
+    w.u8(static_cast<std::uint8_t>(copy.type));
+    w.u16(copy.service);
+    w.u16(copy.element);
+    w.u32(copy.session);
+    w.u32(copy.sender);
+    w.raw(body.data(), body.size());
+    const crypto::Digest256 mac = crypto::hmac_sha256(*key, w.bytes());
+    std::uint64_t tag;
+    std::memcpy(&tag, mac.data(), sizeof(tag));
+    return tag == 0 ? std::uint64_t{1} : tag;
+  }();
+  if (expected == 0 || expected != header.auth_tag) {
+    ++stats_.rejected_tag;
+    return false;
+  }
+  ++stats_.verified;
+  return true;
+}
+
+}  // namespace dynaplat::security

@@ -1,0 +1,56 @@
+#include "security/package.hpp"
+
+#include "middleware/payload.hpp"
+
+namespace dynaplat::security {
+
+std::vector<std::uint8_t> PackageManifest::canonical_bytes() const {
+  middleware::PayloadWriter w;
+  w.str(app_name);
+  w.u32(version);
+  w.u64(binary_size);
+  w.raw(binary_digest.data(), binary_digest.size());
+  w.str(min_platform);
+  return w.take();
+}
+
+SignedPackage PackageSigner::sign(std::string app_name, std::uint32_t version,
+                                  std::vector<std::uint8_t> binary) const {
+  SignedPackage package;
+  package.manifest.app_name = std::move(app_name);
+  package.manifest.version = version;
+  package.manifest.binary_size = binary.size();
+  package.manifest.binary_digest = crypto::Sha256::digest(binary);
+  package.binary = std::move(binary);
+  package.signature =
+      crypto::rsa_sign(key_.priv, package.manifest.canonical_bytes());
+  return package;
+}
+
+VerifyResult PackageVerifier::verify(const SignedPackage& package) const {
+  if (package.binary.size() != package.manifest.binary_size) {
+    return VerifyResult::kSizeMismatch;
+  }
+  const crypto::Digest256 digest = crypto::Sha256::digest(package.binary);
+  if (!crypto::digest_equal(digest, package.manifest.binary_digest)) {
+    return VerifyResult::kDigestMismatch;
+  }
+  if (!crypto::rsa_verify(oem_public_, package.manifest.canonical_bytes(),
+                          package.signature)) {
+    return VerifyResult::kBadSignature;
+  }
+  return VerifyResult::kOk;
+}
+
+std::uint64_t PackageVerifier::verification_cost(std::size_t binary_size,
+                                                 std::size_t modulus_bits) {
+  const std::uint64_t hash_cost = 20ull * binary_size;
+  // Public-exponent RSA (e = 65537): ~17 modular multiplications; each is
+  // O(n^2) in the modulus words. Normalized to ~2.5M instructions at 2048
+  // bits on a plain in-order core.
+  const std::uint64_t words = modulus_bits / 32;
+  const std::uint64_t rsa_cost = 17ull * words * words * 36ull;
+  return hash_cost + rsa_cost;
+}
+
+}  // namespace dynaplat::security

@@ -1,0 +1,75 @@
+// Package security (paper Sec. 4.1).
+//
+// A software package (app binary + metadata) ships with a signed manifest.
+// The backend signs with the OEM key; ECUs verify signature and content hash
+// before installation. Verification cost is expressed in CPU instructions so
+// weak ECUs pay realistically more simulated time than the central platform
+// (E6: the update-master delegation crossover).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dynaplat::security {
+
+struct PackageManifest {
+  std::string app_name;
+  std::uint32_t version = 1;
+  std::size_t binary_size = 0;
+  crypto::Digest256 binary_digest{};
+  std::string min_platform;  ///< compatibility constraint
+
+  std::vector<std::uint8_t> canonical_bytes() const;
+};
+
+struct SignedPackage {
+  PackageManifest manifest;
+  std::vector<std::uint8_t> binary;
+  std::vector<std::uint8_t> signature;  ///< RSA over manifest bytes
+};
+
+/// Backend-side signer (holds the OEM private key).
+class PackageSigner {
+ public:
+  explicit PackageSigner(crypto::RsaKeyPair oem_key)
+      : key_(std::move(oem_key)) {}
+
+  SignedPackage sign(std::string app_name, std::uint32_t version,
+                     std::vector<std::uint8_t> binary) const;
+
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+ private:
+  crypto::RsaKeyPair key_;
+};
+
+enum class VerifyResult : std::uint8_t {
+  kOk,
+  kBadSignature,
+  kDigestMismatch,
+  kSizeMismatch,
+};
+
+/// ECU-side verifier (holds only the OEM public key).
+class PackageVerifier {
+ public:
+  explicit PackageVerifier(crypto::RsaPublicKey oem_public)
+      : oem_public_(std::move(oem_public)) {}
+
+  VerifyResult verify(const SignedPackage& package) const;
+
+  /// CPU instruction estimate for verifying a package of `binary_size`
+  /// bytes: SHA-256 at ~20 instr/byte plus a fixed RSA public-exponent
+  /// operation (~2.5M instr for a 2048-bit modulus, scaled by size).
+  static std::uint64_t verification_cost(std::size_t binary_size,
+                                         std::size_t modulus_bits = 2048);
+
+ private:
+  crypto::RsaPublicKey oem_public_;
+};
+
+}  // namespace dynaplat::security

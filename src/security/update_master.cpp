@@ -1,0 +1,122 @@
+#include "security/update_master.hpp"
+
+#include <cstring>
+
+namespace dynaplat::security {
+
+std::vector<std::uint8_t> encode_verify_request(
+    const PackageManifest& manifest,
+    const std::vector<std::uint8_t>& signature,
+    const crypto::Digest256& local_digest) {
+  middleware::PayloadWriter w;
+  w.str(manifest.app_name);
+  w.u32(manifest.version);
+  w.u64(manifest.binary_size);
+  w.raw(manifest.binary_digest.data(), manifest.binary_digest.size());
+  w.str(manifest.min_platform);
+  w.blob(signature);
+  w.raw(local_digest.data(), local_digest.size());
+  return w.take();
+}
+
+bool decode_verify_request(const std::vector<std::uint8_t>& wire,
+                           PackageManifest& manifest,
+                           std::vector<std::uint8_t>& signature,
+                           crypto::Digest256& local_digest) {
+  try {
+    middleware::PayloadReader r(wire);
+    manifest.app_name = r.str();
+    manifest.version = r.u32();
+    manifest.binary_size = r.u64();
+    for (auto& byte : manifest.binary_digest) byte = r.u8();
+    manifest.min_platform = r.str();
+    signature = r.blob();
+    for (auto& byte : local_digest) byte = r.u8();
+    return true;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+UpdateMasterService::UpdateMasterService(middleware::ServiceRuntime& runtime,
+                                         crypto::RsaPublicKey oem_public,
+                                         middleware::ServiceId service_id)
+    : runtime_(runtime), oem_public_(std::move(oem_public)) {
+  runtime_.offer(service_id);
+  runtime_.provide_method(
+      service_id, kVerifyMethod,
+      [this](const std::vector<std::uint8_t>& request)
+          -> std::vector<std::uint8_t> {
+        PackageManifest manifest;
+        std::vector<std::uint8_t> signature;
+        crypto::Digest256 local_digest;
+        if (!decode_verify_request(request, manifest, signature,
+                                   local_digest)) {
+          return {0};
+        }
+        ++served_;
+        // The master charges *its own* CPU for the RSA check.
+        runtime_.ecu().processor().submit(
+            "verify_rsa",
+            PackageVerifier::verification_cost(0),  // signature only
+            6, os::TaskClass::kNonDeterministic, {});
+        // Trust model: the client hashed the binary locally; the master
+        // checks that digest against the signed manifest.
+        const bool digest_ok =
+            crypto::digest_equal(local_digest, manifest.binary_digest);
+        // Only the signature is re-checked here; the binary never leaves
+        // the client (it hashed locally).
+        const bool signature_ok = crypto::rsa_verify(
+            oem_public_, manifest.canonical_bytes(), signature);
+        return {static_cast<std::uint8_t>(digest_ok && signature_ok ? 1 : 0)};
+      });
+}
+
+UpdateMasterClient::UpdateMasterClient(middleware::ServiceRuntime& runtime,
+                                       middleware::ServiceId service_id)
+    : runtime_(runtime), masters_{service_id} {}
+
+UpdateMasterClient::UpdateMasterClient(
+    middleware::ServiceRuntime& runtime,
+    std::vector<middleware::ServiceId> masters)
+    : runtime_(runtime), masters_(std::move(masters)) {}
+
+void UpdateMasterClient::try_master(
+    std::size_t index, std::shared_ptr<std::vector<std::uint8_t>> request,
+    std::function<void(bool)> done) {
+  if (index >= masters_.size()) {
+    done(false);  // every master unreachable
+    return;
+  }
+  runtime_.call(
+      masters_[index], kVerifyMethod, *request,
+      [this, index, request, done = std::move(done)](
+          bool ok, std::vector<std::uint8_t> response) mutable {
+        if (!ok) {
+          // This master is down or unreachable: fail over to the next.
+          try_master(index + 1, std::move(request), std::move(done));
+          return;
+        }
+        last_master_used_ = static_cast<int>(index);
+        done(!response.empty() && response[0] == 1);
+      },
+      net::kPriorityHighest);
+}
+
+void UpdateMasterClient::verify(const SignedPackage& package,
+                                std::function<void(bool)> done) {
+  // Local hashing cost (cheap even on weak cores).
+  const std::uint64_t hash_cost = 20ull * package.binary.size();
+  const crypto::Digest256 local_digest =
+      crypto::Sha256::digest(package.binary);
+  auto request = std::make_shared<std::vector<std::uint8_t>>(
+      encode_verify_request(package.manifest, package.signature,
+                            local_digest));
+  runtime_.ecu().processor().submit(
+      "hash_pkg", hash_cost, 6, os::TaskClass::kNonDeterministic,
+      [this, request = std::move(request), done = std::move(done)]() mutable {
+        try_master(0, std::move(request), std::move(done));
+      });
+}
+
+}  // namespace dynaplat::security

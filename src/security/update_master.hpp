@@ -1,0 +1,91 @@
+// Update master (paper Sec. 4.1).
+//
+// "Not all ECUs might have sufficient power to perform cryptographic
+// operations at runtime. For such ECUs we propose to use an update master to
+// which a trust relationship can be established. ... To avoid a single point
+// of failure, the update master would need to be instantiated in a redundant
+// fashion."
+//
+// The UpdateMasterService runs on strong ECUs and offers an RPC service
+// (kUpdateMasterServiceId) that verifies package signatures on behalf of
+// clients. A weak ECU's UpdateMasterClient ships the package manifest +
+// signature (not the binary: it sends the binary digest it computed locally
+// — hashing is cheap, RSA is not) and receives an HMAC-attested verdict over
+// the pre-established session key. Multiple masters may offer the service on
+// distinct service ids; the client tries them in order (redundancy).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "middleware/runtime.hpp"
+#include "security/auth.hpp"
+#include "security/package.hpp"
+
+namespace dynaplat::security {
+
+inline constexpr middleware::ServiceId kUpdateMasterServiceId = 0xF000;
+inline constexpr middleware::ElementId kVerifyMethod = 1;
+
+/// Server side: hosts the OEM public key on a strong ECU.
+class UpdateMasterService {
+ public:
+  UpdateMasterService(middleware::ServiceRuntime& runtime,
+                      crypto::RsaPublicKey oem_public,
+                      middleware::ServiceId service_id =
+                          kUpdateMasterServiceId);
+
+  std::uint64_t verifications_served() const { return served_; }
+
+ private:
+  middleware::ServiceRuntime& runtime_;
+  crypto::RsaPublicKey oem_public_;
+  std::uint64_t served_ = 0;
+};
+
+/// Client side: delegates the RSA verification, paying only for hashing the
+/// binary locally plus the (cheap) session-authenticated RPC.
+///
+/// "To avoid a single point of failure, the update master would need to be
+/// instantiated in a redundant fashion" (Sec. 4.1): the client accepts a
+/// prioritized list of master service ids and fails over to the next when a
+/// call errors or times out.
+class UpdateMasterClient {
+ public:
+  UpdateMasterClient(middleware::ServiceRuntime& runtime,
+                     middleware::ServiceId service_id =
+                         kUpdateMasterServiceId);
+  UpdateMasterClient(middleware::ServiceRuntime& runtime,
+                     std::vector<middleware::ServiceId> masters);
+
+  /// Verifies `package` via the first reachable master. `done(true)` on a
+  /// positive verdict; `done(false)` on rejection *or* when every master is
+  /// unreachable. Hashing the binary is charged to the local CPU; the
+  /// signature check runs on the chosen master's CPU.
+  void verify(const SignedPackage& package, std::function<void(bool)> done);
+
+  /// Index of the master that served the last completed verification
+  /// (for observability in tests/benches); -1 if none.
+  int last_master_used() const { return last_master_used_; }
+
+ private:
+  void try_master(std::size_t index,
+                  std::shared_ptr<std::vector<std::uint8_t>> request,
+                  std::function<void(bool)> done);
+
+  middleware::ServiceRuntime& runtime_;
+  std::vector<middleware::ServiceId> masters_;
+  int last_master_used_ = -1;
+};
+
+/// Encodes manifest + signature + locally computed digest for the wire.
+std::vector<std::uint8_t> encode_verify_request(
+    const PackageManifest& manifest, const std::vector<std::uint8_t>& signature,
+    const crypto::Digest256& local_digest);
+bool decode_verify_request(const std::vector<std::uint8_t>& wire,
+                           PackageManifest& manifest,
+                           std::vector<std::uint8_t>& signature,
+                           crypto::Digest256& local_digest);
+
+}  // namespace dynaplat::security

@@ -1,0 +1,95 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dynaplat::sim {
+
+EventId Simulator::enqueue(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueEntry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  return enqueue(at, std::move(fn));
+}
+
+EventId Simulator::schedule_in(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return enqueue(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_every(Time first, Duration period,
+                                  std::function<void()> fn) {
+  assert(period > 0);
+  const EventId id = enqueue(first, std::move(fn));
+  recurrences_.emplace(id.value, Recurrence{period});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The queue entry stays behind as a tombstone; fire() skips ids whose
+  // callback is gone. This keeps cancel O(1).
+  recurrences_.erase(id.value);
+  return callbacks_.erase(id.value) > 0;
+}
+
+void Simulator::fire(std::uint64_t id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // cancelled -> tombstone
+  ++events_executed_;
+  auto rec = recurrences_.find(id);
+  if (rec != recurrences_.end()) {
+    // Re-arm before invoking so the callback may cancel its own recurrence.
+    queue_.push(QueueEntry{now_ + rec->second.period, next_seq_++, id});
+    // Invoke a copy: the callback may cancel() itself, which erases the
+    // stored function while it is executing.
+    auto fn = it->second;
+    fn();
+  } else {
+    // Move the callback out so it may safely schedule/cancel anything.
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+  }
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();  // tombstone
+      continue;
+    }
+    queue_.pop();
+    now_ = entry.at;
+    fire(entry.id);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past tombstones to find the next live event.
+    while (!queue_.empty() &&
+           callbacks_.find(queue_.top().id) == callbacks_.end()) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace dynaplat::sim

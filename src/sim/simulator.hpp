@@ -1,0 +1,101 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns the single simulated clock and an ordered event queue.
+// Every other dynaplat subsystem (network media, ECU schedulers, middleware
+// timers, fault injectors) expresses behaviour as events scheduled here, so a
+// whole-vehicle scenario executes as one deterministic event-driven program.
+//
+// Determinism contract: two events at the same timestamp fire in scheduling
+// order (FIFO tie-break by a monotonically increasing sequence number). This
+// makes a scenario a pure function of (models, seed), which DESIGN.md relies
+// on for backend schedule validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaplat::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  EventId schedule_in(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` every `period` starting at `first`. The callback runs
+  /// until cancelled. Returns the id of the *recurrence*, which stays valid
+  /// across firings.
+  EventId schedule_every(Time first, Duration period, std::function<void()> fn);
+
+  /// Cancels a pending event or recurrence. Cancelling an already-fired or
+  /// unknown id is a no-op. Returns true if something was cancelled.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// `until` (even if the queue drained earlier).
+  void run_until(Time until);
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  /// Requests `run()` / `run_until()` to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests and cost accounting).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct QueueEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const QueueEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  struct Recurrence {
+    Duration period;
+  };
+
+  EventId enqueue(Time at, std::function<void()> fn);
+  void fire(std::uint64_t id);
+
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::unordered_map<std::uint64_t, Recurrence> recurrences_;
+};
+
+}  // namespace dynaplat::sim

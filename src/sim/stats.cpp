@@ -1,0 +1,111 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace dynaplat::sim {
+
+void Stats::add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  sorted_valid_ = false;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::min() const { return samples_.empty() ? 0.0 : min_; }
+double Stats::max() const { return samples_.empty() ? 0.0 : max_; }
+double Stats::mean() const { return samples_.empty() ? 0.0 : mean_; }
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string Stats::summary() const {
+  std::ostringstream os;
+  os << "min=" << min() << " mean=" << mean() << " p50=" << percentile(50)
+     << " p99=" << percentile(99) << " max=" << max() << " (n=" << count()
+     << ")";
+  return os.str();
+}
+
+void Stats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  mean_ = m2_ = sum_ = min_ = max_ = 0.0;
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t buckets) {
+  Histogram h;
+  h.edges_.resize(buckets + 2);
+  h.counts_.assign(buckets + 2, 0);
+  h.edges_[0] = -std::numeric_limits<double>::infinity();
+  const double step = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i <= buckets; ++i) {
+    h.edges_[i + 1] = lo + step * static_cast<double>(i);
+  }
+  return h;
+}
+
+Histogram Histogram::log2(double lo, std::size_t buckets) {
+  Histogram h;
+  h.edges_.resize(buckets + 2);
+  h.counts_.assign(buckets + 2, 0);
+  h.edges_[0] = -std::numeric_limits<double>::infinity();
+  double edge = lo;
+  for (std::size_t i = 0; i <= buckets; ++i) {
+    h.edges_[i + 1] = edge;
+    edge *= 2.0;
+  }
+  return h;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  // edges_[i] is the lower edge of bucket i; find the last bucket whose lower
+  // edge is <= x.
+  std::size_t i = counts_.size() - 1;
+  while (i > 0 && edges_[i] > x) --i;
+  ++counts_[i];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 1; i + 1 < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[i] * width / peak);
+    os << edges_[i] << "\t" << counts_[i] << "\t" << std::string(bar, '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynaplat::sim

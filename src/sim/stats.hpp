@@ -1,0 +1,72 @@
+// Measurement accumulators used by experiments and runtime monitoring.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynaplat::sim {
+
+/// Streaming summary statistics (Welford) plus exact percentiles over the
+/// retained sample vector. Samples are doubles; callers pick the unit.
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Exact percentile via nearest-rank on the sorted sample set.
+  /// p in [0, 100]. Returns 0 for an empty accumulator.
+  double percentile(double p) const;
+
+  /// "min=.. mean=.. p99=.. max=.. (n=..)" one-line summary.
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt percentile cache
+  mutable bool sorted_valid_ = false;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram for latency distributions, log or linear spaced.
+class Histogram {
+ public:
+  /// Linear buckets: [lo, hi) split into `buckets` equal cells plus
+  /// underflow/overflow cells.
+  static Histogram linear(double lo, double hi, std::size_t buckets);
+  /// Log2 buckets starting at `lo` (> 0), doubling `buckets` times.
+  static Histogram log2(double lo, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  /// Bucket count including under/overflow (index 0 and size()-1).
+  std::size_t size() const { return counts_.size(); }
+  std::uint64_t count_at(std::size_t i) const { return counts_[i]; }
+  /// Lower edge of bucket i (i in [1, size()-1)); bucket 0 is underflow.
+  double edge(std::size_t i) const { return edges_[i]; }
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  Histogram() = default;
+  std::vector<double> edges_;  // edges_[i] = lower edge of bucket i
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dynaplat::sim

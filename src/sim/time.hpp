@@ -1,0 +1,39 @@
+// Simulated-time primitives shared by every dynaplat subsystem.
+//
+// All timing in dynaplat is expressed as signed 64-bit nanosecond counts on a
+// single global simulated clock owned by sim::Simulator. A signed type is
+// used deliberately: time *differences* (jitter, lateness) are first-class
+// values and may be negative.
+#pragma once
+
+#include <cstdint>
+
+namespace dynaplat::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A duration in nanoseconds. Same representation as Time; separate alias
+/// for documentation purposes.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Duration microseconds(std::int64_t us) { return us * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * kMillisecond; }
+constexpr Duration seconds(std::int64_t s) { return s * kSecond; }
+
+/// Converts a simulated duration to fractional milliseconds (reporting only).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+/// Converts a simulated duration to fractional microseconds (reporting only).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+/// Converts a simulated duration to fractional seconds (reporting only).
+constexpr double to_s(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace dynaplat::sim

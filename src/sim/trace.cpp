@@ -1,0 +1,29 @@
+#include "sim/trace.hpp"
+
+namespace dynaplat::sim {
+
+void Trace::record(Time at, TraceCategory cat, std::string source,
+                   std::string event, std::int64_t value) {
+  if (!enabled_) return;
+  records_.push_back(
+      TraceRecord{at, cat, std::move(source), std::move(event), value});
+}
+
+std::size_t Trace::count(TraceCategory cat, const std::string& event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.category == cat && r.event == event) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceRecord> Trace::filter(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dynaplat::sim

@@ -1,0 +1,58 @@
+// Structured event tracing.
+//
+// Subsystems append typed records; tests and benches query them afterwards.
+// The trace is the "flight recorder" substrate the paper's runtime
+// monitoring (Sec. 3.4) stores fault conditions into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaplat::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kTask,      // task activation / completion / deadline events
+  kNetwork,   // frame transmission / reception
+  kService,   // middleware events (offer, subscribe, call)
+  kPlatform,  // lifecycle: install, start, stop, update phases
+  kFault,     // injected or detected faults
+  kSecurity,  // auth, verification outcomes
+};
+
+struct TraceRecord {
+  Time at = 0;
+  TraceCategory category = TraceCategory::kTask;
+  std::string source;  // e.g. "ecu0/task:brake_ctl" or "bus:can0"
+  std::string event;   // e.g. "deadline_miss", "tx_start"
+  std::int64_t value = 0;
+};
+
+class Trace {
+ public:
+  /// When disabled, record() is a cheap no-op (overhead ablation, E10).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Time at, TraceCategory cat, std::string source,
+              std::string event, std::int64_t value = 0);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records matching category + event name.
+  std::size_t count(TraceCategory cat, const std::string& event) const;
+
+  /// All records matching a predicate.
+  std::vector<TraceRecord> filter(
+      const std::function<bool(const TraceRecord&)>& pred) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace dynaplat::sim

@@ -1,0 +1,123 @@
+// Plant models for X-in-the-loop testing (paper Sec. 2.4, [17]).
+//
+// Continuous-time vehicle dynamics integrated with fixed-step forward Euler
+// at the control period. These stand in for the physical vehicle ("X" = the
+// environment) in MiL and SiL setups; the same plant instance is driven by
+// either a pure control model (MiL) or a full application on the virtual
+// ECU platform (SiL), so controller behaviour is directly comparable across
+// levels.
+#pragma once
+
+#include <algorithm>
+
+namespace dynaplat::xil {
+
+/// Longitudinal vehicle dynamics: m*v' = F_drive - F_brake - F_drag -
+/// F_rolling. Inputs are normalized throttle/brake in [0, 1].
+class VehiclePlant {
+ public:
+  struct Params {
+    double mass_kg = 1500.0;
+    double max_drive_force_n = 4500.0;
+    double max_brake_force_n = 9000.0;
+    double drag_coefficient = 0.42;    ///< 0.5 * rho * cd * A lumped
+    double rolling_resistance_n = 180.0;
+    double initial_speed_mps = 0.0;
+  };
+
+  VehiclePlant();  // defaults (defined below: NSDMI-in-default-arg rule)
+  explicit VehiclePlant(Params params)
+      : params_(params), speed_mps_(params.initial_speed_mps) {}
+
+  /// Advances the plant by `dt_s` seconds under the given pedal inputs.
+  void step(double throttle, double brake, double dt_s) {
+    throttle = std::clamp(throttle, 0.0, 1.0);
+    brake = std::clamp(brake, 0.0, 1.0);
+    const double drive = throttle * params_.max_drive_force_n;
+    const double braking = brake * params_.max_brake_force_n;
+    const double drag = params_.drag_coefficient * speed_mps_ * speed_mps_;
+    const double rolling = speed_mps_ > 0.0 ? params_.rolling_resistance_n : 0.0;
+    const double accel = (drive - braking - drag - rolling) / params_.mass_kg;
+    speed_mps_ = std::max(0.0, speed_mps_ + accel * dt_s);
+    distance_m_ += speed_mps_ * dt_s;
+  }
+
+  double speed_mps() const { return speed_mps_; }
+  double distance_m() const { return distance_m_; }
+  void set_speed(double mps) { speed_mps_ = std::max(0.0, mps); }
+
+ private:
+  Params params_;
+  double speed_mps_;
+  double distance_m_ = 0.0;
+};
+
+inline VehiclePlant::VehiclePlant() : VehiclePlant(Params()) {}
+
+/// Textbook PID with output clamping and anti-windup (conditional
+/// integration).
+class PidController {
+ public:
+  struct Gains {
+    double kp = 0.0;
+    double ki = 0.0;
+    double kd = 0.0;
+    double out_min = -1.0;
+    double out_max = 1.0;
+  };
+
+  explicit PidController(Gains gains) : gains_(gains) {}
+
+  double update(double error, double dt_s) {
+    const double derivative = dt_s > 0.0 ? (error - last_error_) / dt_s : 0.0;
+    last_error_ = error;
+    double out = gains_.kp * error + gains_.ki * integral_ +
+                 gains_.kd * derivative;
+    const bool saturated_high = out >= gains_.out_max && error > 0.0;
+    const bool saturated_low = out <= gains_.out_min && error < 0.0;
+    if (!saturated_high && !saturated_low) integral_ += error * dt_s;
+    return std::clamp(out, gains_.out_min, gains_.out_max);
+  }
+
+  void reset() {
+    integral_ = 0.0;
+    last_error_ = 0.0;
+  }
+
+ private:
+  Gains gains_;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+};
+
+/// Lead-vehicle model for adaptive cruise control scenarios: the lead drives
+/// a speed profile; the plant-under-test follows behind.
+class LeadVehicle {
+ public:
+  explicit LeadVehicle(double initial_speed_mps, double initial_gap_m = 50.0)
+      : speed_mps_(initial_speed_mps),
+        target_mps_(initial_speed_mps),
+        position_m_(initial_gap_m) {}
+
+  /// Piecewise speed command (e.g. braking events) applied with limited
+  /// acceleration of +-3 m/s^2.
+  void command_speed(double target_mps) { target_mps_ = target_mps; }
+
+  void step(double dt_s) {
+    const double max_delta = 3.0 * dt_s;
+    const double delta = std::clamp(target_mps_ - speed_mps_, -max_delta,
+                                    max_delta);
+    speed_mps_ += delta;
+    position_m_ += speed_mps_ * dt_s;
+  }
+
+  double speed_mps() const { return speed_mps_; }
+  double position_m() const { return position_m_; }
+
+ private:
+  double speed_mps_;
+  double target_mps_ = 0.0;
+  double position_m_;
+};
+
+}  // namespace dynaplat::xil

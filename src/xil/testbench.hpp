@@ -1,0 +1,116 @@
+// X-in-the-loop test bench (paper Sec. 2.4).
+//
+// Runs the same cruise-control function at two test levels:
+//   MiL  — the control model is stepped directly against the plant: no ECU,
+//          no middleware, no scheduling. Fastest, earliest available.
+//   SiL  — the controller is a real platform Application on a virtual ECU:
+//          sensor and actuator apps talk to it over the middleware, the
+//          scheduler interleaves it with other load, frames can be dropped.
+// Both levels share the plant and the assertion engine, so a control design
+// validated in MiL can be re-validated in SiL "long before target hardware
+// or prototypes are available".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "xil/plant.hpp"
+
+namespace dynaplat::xil {
+
+/// A sampled signal with timing assertions used by test cases.
+class SignalTrace {
+ public:
+  void record(sim::Time at, double value);
+  std::size_t size() const { return samples_.size(); }
+  double last() const { return samples_.empty() ? 0.0 : samples_.back().value; }
+
+  /// First time the signal enters [target - tol, target + tol] and stays
+  /// there until the end of the trace. nullopt if it never settles.
+  std::optional<sim::Time> settling_time(double target, double tolerance) const;
+
+  /// Maximum overshoot above `target` (0 if none).
+  double overshoot(double target) const;
+
+  /// Mean absolute error vs target over the trailing `fraction` of the trace.
+  double steady_state_error(double target, double fraction = 0.25) const;
+
+  double minimum() const;
+  double maximum() const;
+
+  struct Sample {
+    sim::Time at;
+    double value;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+struct CruiseResult {
+  SignalTrace speed;
+  std::optional<sim::Time> settling_time;
+  double overshoot_mps = 0.0;
+  double steady_state_error_mps = 0.0;
+  std::uint64_t deadline_misses = 0;   ///< SiL only
+  std::uint64_t frames_dropped = 0;    ///< SiL only
+  std::uint64_t events_executed = 0;   ///< simulation cost proxy
+};
+
+struct CruiseScenario {
+  double target_speed_mps = 25.0;
+  double initial_speed_mps = 0.0;
+  sim::Duration control_period = 10 * sim::kMillisecond;
+  sim::Duration duration = sim::seconds(60);
+  PidController::Gains gains{0.12, 0.035, 0.0, 0.0, 1.0};
+  /// SiL-only knobs.
+  double frame_loss_rate = 0.0;
+  std::uint64_t background_load_instructions = 0;  ///< per 20 ms on the ECU
+  std::uint64_t ecu_mips = 200;
+};
+
+/// Model-in-the-loop: pure model + plant on a bare simulator clock.
+CruiseResult run_mil(const CruiseScenario& scenario);
+
+/// Software-in-the-loop: controller/sensor/actuator as platform apps on
+/// virtual ECUs over a simulated backbone.
+CruiseResult run_sil(const CruiseScenario& scenario);
+
+// --- Adaptive cruise control (lead-vehicle following) ------------------------
+
+struct AccScenario {
+  double own_initial_mps = 25.0;
+  double lead_initial_mps = 25.0;
+  double initial_gap_m = 50.0;
+  /// Desired gap = standstill_gap + time_gap * own speed.
+  double time_gap_s = 1.5;
+  double standstill_gap_m = 5.0;
+  sim::Duration control_period = 20 * sim::kMillisecond;
+  sim::Duration duration = sim::seconds(60);
+  /// Lead braking event.
+  sim::Time lead_brakes_at = sim::seconds(20);
+  double lead_brakes_to_mps = 10.0;
+  /// SiL-only knobs.
+  double frame_loss_rate = 0.0;
+  std::uint64_t ecu_mips = 200;
+};
+
+struct AccResult {
+  SignalTrace gap;
+  SignalTrace speed;
+  double min_gap_m = 0.0;
+  bool collision = false;  ///< gap reached zero
+  /// Mean |gap - desired| over the trailing half of the scenario.
+  double mean_gap_error_m = 0.0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t events_executed = 0;
+};
+
+AccResult run_acc_mil(const AccScenario& scenario);
+AccResult run_acc_sil(const AccScenario& scenario);
+
+}  // namespace dynaplat::xil

@@ -1,0 +1,302 @@
+// Unit tests for the crypto substrate: SHA-256/HMAC vectors, bignum algebra,
+// RSA sign/verify round trips and the ChaCha20 DRBG.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bignum.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/random.hpp"
+
+namespace dynaplat::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) ------------------------------
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(
+      to_hex(Sha256::digest(std::string())),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(
+      to_hex(Sha256::digest(std::string("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessageVector) {
+  EXPECT_EQ(
+      to_hex(Sha256::digest(std::string(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAsVector) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(
+      to_hex(h.finish()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(&c, 1);
+  EXPECT_EQ(to_hex(h.finish()), to_hex(Sha256::digest(msg)));
+}
+
+TEST(Sha256, BoundarySizesDiffer) {
+  // Exercise the padding edge cases at 55/56/64-byte messages.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string a(len, 'x');
+    const std::string b(len, 'y');
+    EXPECT_NE(to_hex(Sha256::digest(a)), to_hex(Sha256::digest(b)));
+  }
+}
+
+// --- HMAC-SHA256 (RFC 4231 test cases) --------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string data = "Hi There";
+  EXPECT_EQ(
+      to_hex(hmac_sha256(key, data.data(), data.size())),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key_str = "Jefe";
+  const std::vector<std::uint8_t> key(key_str.begin(), key_str.end());
+  const std::string data = "what do ya want for nothing?";
+  EXPECT_EQ(
+      to_hex(hmac_sha256(key, data.data(), data.size())),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data =
+      "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(
+      to_hex(hmac_sha256(key, data.data(), data.size())),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualIsConstantTimeEquality) {
+  const std::vector<std::uint8_t> key{1, 2, 3};
+  const std::vector<std::uint8_t> data{4, 5, 6};
+  const Digest256 a = hmac_sha256(key, data);
+  Digest256 b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+// --- BigNum ------------------------------------------------------------------
+
+TEST(BigNum, HexRoundTrip) {
+  const std::string hex = "123456789abcdef0fedcba9876543210";
+  EXPECT_EQ(BigNum::from_hex(hex).to_hex(), hex);
+}
+
+TEST(BigNum, AdditionCarriesAcrossLimbs) {
+  const BigNum a = BigNum::from_hex("ffffffffffffffff");
+  const BigNum b(1);
+  EXPECT_EQ((a + b).to_hex(), "10000000000000000");
+}
+
+TEST(BigNum, SubtractionBorrows) {
+  const BigNum a = BigNum::from_hex("10000000000000000");
+  const BigNum b(1);
+  EXPECT_EQ((a - b).to_hex(), "ffffffffffffffff");
+}
+
+TEST(BigNum, MultiplicationKnownProduct) {
+  const BigNum a = BigNum::from_hex("1234567890abcdef");
+  const BigNum b = BigNum::from_hex("fedcba0987654321");
+  EXPECT_EQ((a * b).to_hex(), "121fa000a3723a57c24a442fe55618cf");
+}
+
+TEST(BigNum, DivisionAndRemainderIdentity) {
+  sim::Random rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a =
+        BigNum::random_bits(256, [&rng] { return rng.next_u64(); });
+    const BigNum b =
+        BigNum::random_bits(100, [&rng] { return rng.next_u64(); });
+    const BigNum q = a / b;
+    const BigNum r = a % b;
+    EXPECT_TRUE(r < b);
+    EXPECT_TRUE(q * b + r == a) << "failed at iteration " << i;
+  }
+}
+
+TEST(BigNum, DivisionBySingleLimb) {
+  const BigNum a = BigNum::from_hex("100000000000000000");  // 2^68
+  EXPECT_EQ((a / BigNum(16)).to_hex(), "10000000000000000");
+  EXPECT_TRUE((a % BigNum(16)).is_zero());
+}
+
+TEST(BigNum, ShiftRoundTrip) {
+  const BigNum a = BigNum::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(a.shifted_left(17).shifted_right(17).to_hex(), a.to_hex());
+}
+
+TEST(BigNum, ModPowSmallKnownValues) {
+  // 4^13 mod 497 = 445 (classic example).
+  EXPECT_EQ(BigNum(4).mod_pow(BigNum(13), BigNum(497)).to_hex(),
+            BigNum(445).to_hex());
+}
+
+TEST(BigNum, ModPowFermat) {
+  // a^(p-1) = 1 mod p for prime p = 1000003 and gcd(a,p)=1.
+  const BigNum p(1000003);
+  for (std::uint64_t a : {2ull, 3ull, 65537ull}) {
+    EXPECT_TRUE(BigNum(a).mod_pow(p - BigNum(1), p) == BigNum(1));
+  }
+}
+
+TEST(BigNum, ModInverse) {
+  const BigNum m(1000003);
+  const BigNum a(12345);
+  const BigNum inv = a.mod_inverse(m);
+  EXPECT_TRUE((a * inv) % m == BigNum(1));
+}
+
+TEST(BigNum, ModInverseOfNonCoprimeIsZero) {
+  EXPECT_TRUE(BigNum(6).mod_inverse(BigNum(9)).is_zero());
+}
+
+TEST(BigNum, GcdKnownValues) {
+  EXPECT_TRUE(BigNum::gcd(BigNum(48), BigNum(18)) == BigNum(6));
+  EXPECT_TRUE(BigNum::gcd(BigNum(17), BigNum(5)) == BigNum(1));
+}
+
+TEST(BigNum, ByteRoundTripWithPadding) {
+  const BigNum a = BigNum::from_hex("abcd");
+  const auto bytes = a.to_bytes(8);
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[6], 0xab);
+  EXPECT_EQ(bytes[7], 0xcd);
+  EXPECT_EQ(BigNum::from_bytes(bytes).to_hex(), "abcd");
+}
+
+// --- Primality / RSA ---------------------------------------------------------
+
+TEST(Primality, KnownPrimesPass) {
+  sim::Random rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7919ull, 1000003ull,
+                          2147483647ull /* 2^31-1, Mersenne prime */}) {
+    EXPECT_TRUE(is_probable_prime(BigNum(p), rng)) << p;
+  }
+}
+
+TEST(Primality, KnownCompositesFail) {
+  sim::Random rng(1);
+  for (std::uint64_t n : {1ull, 4ull, 561ull /* Carmichael */, 7917ull,
+                          1000001ull, 4294967297ull /* F5 = 641*6700417 */}) {
+    EXPECT_FALSE(is_probable_prime(BigNum(n), rng)) << n;
+  }
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  sim::Random rng(2024);
+  const RsaKeyPair kp = RsaKeyPair::generate(512, rng);
+  const std::vector<std::uint8_t> msg{'h', 'e', 'l', 'l', 'o'};
+  const auto sig = rsa_sign(kp.priv, msg);
+  EXPECT_EQ(sig.size(), kp.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, TamperedMessageFailsVerification) {
+  sim::Random rng(2025);
+  const RsaKeyPair kp = RsaKeyPair::generate(512, rng);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  auto sig = rsa_sign(kp.priv, msg);
+  std::vector<std::uint8_t> tampered = msg;
+  tampered[0] ^= 0xFF;
+  EXPECT_FALSE(rsa_verify(kp.pub, tampered, sig));
+}
+
+TEST(Rsa, TamperedSignatureFailsVerification) {
+  sim::Random rng(2026);
+  const RsaKeyPair kp = RsaKeyPair::generate(512, rng);
+  const std::vector<std::uint8_t> msg{9, 9, 9};
+  auto sig = rsa_sign(kp.priv, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, WrongKeyFailsVerification) {
+  sim::Random rng(2027);
+  const RsaKeyPair kp1 = RsaKeyPair::generate(512, rng);
+  const RsaKeyPair kp2 = RsaKeyPair::generate(512, rng);
+  const std::vector<std::uint8_t> msg{42};
+  const auto sig = rsa_sign(kp1.priv, msg);
+  EXPECT_FALSE(rsa_verify(kp2.pub, msg, sig));
+}
+
+TEST(Rsa, DeterministicKeygenForSameSeed) {
+  sim::Random rng1(7), rng2(7);
+  const RsaKeyPair a = RsaKeyPair::generate(256, rng1);
+  const RsaKeyPair b = RsaKeyPair::generate(256, rng2);
+  EXPECT_EQ(a.pub.n.to_hex(), b.pub.n.to_hex());
+  EXPECT_EQ(a.priv.d.to_hex(), b.priv.d.to_hex());
+}
+
+class RsaKeySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaKeySizes, RoundTripAcrossModulusSizes) {
+  sim::Random rng(31337 + GetParam());
+  const RsaKeyPair kp = RsaKeyPair::generate(GetParam(), rng);
+  EXPECT_GE(kp.pub.n.bit_length(), GetParam() - 1);
+  const std::vector<std::uint8_t> msg{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp.priv, msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallToMedium, RsaKeySizes,
+                         ::testing::Values(512, 640, 768));
+
+// --- ChaCha20 DRBG -----------------------------------------------------------
+
+TEST(ChaCha20Drbg, DeterministicForSameSeed) {
+  ChaCha20Drbg a(123), b(123);
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(ChaCha20Drbg, DifferentSeedsDiverge) {
+  ChaCha20Drbg a(1), b(2);
+  EXPECT_NE(a.generate(64), b.generate(64));
+}
+
+TEST(ChaCha20Drbg, StreamsAcrossBlockBoundaries) {
+  ChaCha20Drbg a(55);
+  ChaCha20Drbg b(55);
+  // Reading 7 bytes at a time must equal one big read.
+  const auto big = a.generate(70);
+  std::vector<std::uint8_t> pieced;
+  while (pieced.size() < 70) {
+    const auto chunk = b.generate(std::min<std::size_t>(7, 70 - pieced.size()));
+    pieced.insert(pieced.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(big, pieced);
+}
+
+TEST(ChaCha20Drbg, OutputLooksBalanced) {
+  ChaCha20Drbg drbg(7);
+  const auto bytes = drbg.generate(1 << 16);
+  std::size_t ones = 0;
+  for (auto b : bytes) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double fraction =
+      static_cast<double>(ones) / (static_cast<double>(bytes.size()) * 8);
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace dynaplat::crypto

@@ -1,0 +1,377 @@
+// Unit tests for the DSL parser, system model and verification engine.
+#include <gtest/gtest.h>
+
+#include "model/parser.hpp"
+#include "model/system_model.hpp"
+#include "model/verifier.hpp"
+
+namespace dynaplat::model {
+namespace {
+
+const char* kValidSystem = R"(
+# minimal but complete vehicle slice
+network Backbone kind=tsn bitrate=1G
+network Body kind=can bitrate=500K
+
+ecu Central mips=10000 memory=512M mmu=yes crypto=yes asil=D os=rtos network=Backbone
+ecu Zone1 mips=400 memory=64M mmu=yes crypto=no asil=D os=rtos network=Backbone
+ecu Infotain mips=2000 memory=1G mmu=yes crypto=no asil=QM os=posix network=Backbone
+
+interface WheelSpeed paradigm=event payload=8 period=10ms max_latency=5ms
+interface BrakeCmd paradigm=message payload=16 max_latency=10ms
+interface CabinView paradigm=stream payload=1400 bandwidth=25M
+
+app BrakeController class=deterministic asil=D memory=4M
+  task control period=10ms wcet=200K priority=1
+  provides BrakeCmd
+  consumes WheelSpeed
+
+app WheelSensor class=deterministic asil=D memory=1M
+  task sample period=10ms wcet=50K priority=2
+  provides WheelSpeed
+
+app MediaPlayer class=nondeterministic asil=QM memory=256M
+  task decode period=40ms wcet=10M priority=12
+  provides CabinView
+
+deploy BrakeController -> Central
+deploy WheelSensor -> Zone1
+deploy MediaPlayer -> Infotain
+)";
+
+TEST(Parser, ParsesValidSystem) {
+  const ParsedSystem sys = parse_system(kValidSystem);
+  EXPECT_EQ(sys.model.networks().size(), 2u);
+  EXPECT_EQ(sys.model.ecus().size(), 3u);
+  EXPECT_EQ(sys.model.interfaces().size(), 3u);
+  EXPECT_EQ(sys.model.apps().size(), 3u);
+  EXPECT_EQ(sys.deployment.bindings.size(), 3u);
+
+  const EcuDef* central = sys.model.ecu("Central");
+  ASSERT_NE(central, nullptr);
+  EXPECT_EQ(central->mips, 10'000u);
+  EXPECT_EQ(central->memory_bytes, 512ull << 20);
+  EXPECT_TRUE(central->crypto_accelerator);
+  EXPECT_EQ(central->max_asil, Asil::kD);
+
+  const InterfaceDef* ws = sys.model.interface("WheelSpeed");
+  ASSERT_NE(ws, nullptr);
+  EXPECT_EQ(ws->paradigm, Paradigm::kEvent);
+  EXPECT_EQ(ws->period, 10 * sim::kMillisecond);
+  EXPECT_EQ(ws->max_latency, 5 * sim::kMillisecond);
+
+  const AppDef* brake = sys.model.app("BrakeController");
+  ASSERT_NE(brake, nullptr);
+  EXPECT_EQ(brake->app_class, AppClass::kDeterministic);
+  ASSERT_EQ(brake->tasks.size(), 1u);
+  EXPECT_EQ(brake->tasks[0].instructions, 200'000u);
+  EXPECT_EQ(brake->provides, std::vector<std::string>{"BrakeCmd"});
+  EXPECT_EQ(brake->consumes, std::vector<std::string>{"WheelSpeed"});
+}
+
+TEST(Parser, DurationLiterals) {
+  EXPECT_EQ(parse_duration("250"), 250);
+  EXPECT_EQ(parse_duration("10us"), 10'000);
+  EXPECT_EQ(parse_duration("10ms"), 10'000'000);
+  EXPECT_EQ(parse_duration("1.5s"), 1'500'000'000);
+  EXPECT_THROW(parse_duration("10xs"), std::invalid_argument);
+}
+
+TEST(Parser, SizeLiterals) {
+  EXPECT_EQ(parse_size("1024"), 1024u);
+  EXPECT_EQ(parse_size("4K"), 4096u);
+  EXPECT_EQ(parse_size("2M"), 2ull << 20);
+  EXPECT_EQ(parse_size("1G"), 1ull << 30);
+}
+
+TEST(Parser, ReportsLineNumbersOnErrors) {
+  try {
+    parse_system("network A kind=ethernet\nbogus line here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parser, RejectsTaskOutsideApp) {
+  EXPECT_THROW(parse_system("  task t period=1ms wcet=1K priority=1\n"),
+               ParseError);
+}
+
+TEST(Parser, RejectsBadDeploySyntax) {
+  EXPECT_THROW(parse_system("deploy A B\n"), ParseError);
+}
+
+TEST(Parser, VariantDeployment) {
+  const auto sys = parse_system(
+      "ecu A\necu B\napp X\ndeploy X -> A | B\n");
+  const auto* binding = sys.deployment.find("X");
+  ASSERT_NE(binding, nullptr);
+  EXPECT_EQ(binding->candidates,
+            (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Parser, RoundTripThroughToDsl) {
+  const ParsedSystem original = parse_system(kValidSystem);
+  const std::string dsl = to_dsl(original.model, original.deployment);
+  const ParsedSystem reparsed = parse_system(dsl);
+  EXPECT_EQ(reparsed.model.ecus().size(), original.model.ecus().size());
+  EXPECT_EQ(reparsed.model.apps().size(), original.model.apps().size());
+  const AppDef* brake = reparsed.model.app("BrakeController");
+  ASSERT_NE(brake, nullptr);
+  EXPECT_EQ(brake->tasks[0].period, 10 * sim::kMillisecond);
+}
+
+TEST(SystemModel, ProviderAndConsumerLookups) {
+  const ParsedSystem sys = parse_system(kValidSystem);
+  const AppDef* provider = sys.model.provider_of("WheelSpeed");
+  ASSERT_NE(provider, nullptr);
+  EXPECT_EQ(provider->name, "WheelSensor");
+  const auto consumers = sys.model.consumers_of("WheelSpeed");
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0]->name, "BrakeController");
+  const auto deps = sys.model.dependencies_of(*sys.model.app("BrakeController"));
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0]->name, "WheelSensor");
+}
+
+TEST(Verifier, ValidSystemHasNoErrors) {
+  const ParsedSystem sys = parse_system(kValidSystem);
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  for (const auto& v : violations) {
+    EXPECT_NE(v.severity, Severity::kError)
+        << v.rule << " " << v.subject << ": " << v.message;
+  }
+}
+
+TEST(Verifier, DetectsAsilCertificationViolation) {
+  auto sys = parse_system(
+      "ecu Weak asil=A\n"
+      "app Critical class=deterministic asil=D\n"
+      "deploy Critical -> Weak\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "asil.ecu-certification";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DetectsUnsafeDependency) {
+  auto sys = parse_system(
+      "ecu E asil=D\n"
+      "interface Data paradigm=event\n"
+      "app HighApp class=deterministic asil=D\n"
+      "  consumes Data\n"
+      "app LowApp class=nondeterministic asil=QM\n"
+      "  provides Data\n"
+      "deploy HighApp -> E\n"
+      "deploy LowApp -> E\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "asil.dependency";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DetectsMemoryOvercommit) {
+  auto sys = parse_system(
+      "ecu Small memory=8M asil=D\n"
+      "app Big memory=16M\n"
+      "deploy Big -> Small\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "memory.capacity";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, RequiresMmuForConsolidation) {
+  auto sys = parse_system(
+      "ecu NoMmu mmu=no asil=D memory=64M\n"
+      "app A memory=1M\napp B memory=1M\n"
+      "deploy A -> NoMmu\ndeploy B -> NoMmu\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "memory.mmu-required";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DetectsCpuOverload) {
+  auto sys = parse_system(
+      "ecu Tiny mips=100 asil=D\n"
+      "app Heavy class=deterministic asil=A\n"
+      "  task crunch period=10ms wcet=2M priority=1\n"  // 20 ms per 10 ms
+      "deploy Heavy -> Tiny\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "cpu.overload";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DeterministicAppNeedsRtos) {
+  auto sys = parse_system(
+      "ecu Gpos os=posix asil=D\n"
+      "app Da class=deterministic asil=A\n"
+      "deploy Da -> Gpos\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "cpu.rtos-required";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DetectsMissingProvider) {
+  auto sys = parse_system(
+      "ecu E asil=D\n"
+      "interface Orphan paradigm=event\n"
+      "app Consumer\n  consumes Orphan\n"
+      "deploy Consumer -> E\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) {
+    found |= v.rule == "structure.unprovided-interface";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, DetectsMultipleOwners) {
+  auto sys = parse_system(
+      "ecu E asil=D memory=64M\n"
+      "interface Shared paradigm=event\n"
+      "app P1\n  provides Shared\n"
+      "app P2\n  provides Shared\n"
+      "deploy P1 -> E\ndeploy P2 -> E\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "structure.multiple-owners";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, ReplicasNeedDistinctEcus) {
+  auto sys = parse_system(
+      "ecu Solo asil=D memory=64M\n"
+      "app Redundant replicas=2 asil=D class=deterministic\n"
+      "deploy Redundant -> Solo\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "redundancy.placement";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, ReplicasOnDistinctEcusPass) {
+  auto sys = parse_system(
+      "ecu A asil=D memory=64M\necu B asil=D memory=64M\n"
+      "app Redundant replicas=2 asil=D class=deterministic\n"
+      "deploy Redundant -> A | B\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  EXPECT_FALSE(Verifier::has_errors(violations));
+}
+
+TEST(Verifier, CrossEcuWithoutSharedNetworkFails) {
+  auto sys = parse_system(
+      "network N1 kind=ethernet\nnetwork N2 kind=ethernet\n"
+      "ecu A asil=D network=N1\necu B asil=D network=N2\n"
+      "interface Data paradigm=event\n"
+      "app P asil=B\n  provides Data\n"
+      "app C asil=B\n  consumes Data\n"
+      "deploy P -> A\ndeploy C -> B\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "network.unreachable";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, LatencyFloorOnCanViolated) {
+  // 1 KiB payload over 500 kbit/s CAN needs ~34 ms; 1 ms requirement fails.
+  auto sys = parse_system(
+      "network Can kind=can bitrate=500K\n"
+      "ecu A asil=D network=Can\necu B asil=D network=Can\n"
+      "interface Fat paradigm=event payload=1K max_latency=1ms\n"
+      "app P asil=B\n  provides Fat\n"
+      "app C asil=B\n  consumes Fat\n"
+      "deploy P -> A\ndeploy C -> B\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "network.latency-floor";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, StreamBandwidthBudget) {
+  auto sys = parse_system(
+      "network Eth kind=ethernet bitrate=100M\n"
+      "ecu A asil=D network=Eth\necu B asil=D network=Eth\n"
+      "interface Video paradigm=stream payload=1400 bandwidth=90M\n"
+      "app Cam asil=QM\n  provides Video\n"
+      "app Head asil=QM\n  consumes Video\n"
+      "deploy Cam -> A\ndeploy Head -> B\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "network.bandwidth";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, VariantExpansionVerifiesEveryMapping) {
+  // App fits on Big but overflows Small: the variant deployment must be
+  // rejected because *one possible* mapping is bad (Sec. 2.3).
+  auto sys = parse_system(
+      "ecu Big memory=64M asil=D\necu Small memory=2M asil=D\n"
+      "app X memory=16M\n"
+      "deploy X -> Big | Small\n");
+  Verifier verifier;
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) found |= v.rule == "memory.capacity";
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, ExpandEnumeratesCartesianProduct) {
+  auto sys = parse_system(
+      "ecu A\necu B\necu C\n"
+      "app X\napp Y\n"
+      "deploy X -> A | B\ndeploy Y -> B | C\n");
+  const auto variants = Verifier::expand(sys.model, sys.deployment);
+  EXPECT_EQ(variants.size(), 4u);
+}
+
+TEST(Verifier, SchedulabilityHookIsConsulted) {
+  auto sys = parse_system(
+      "ecu E asil=D\n"
+      "app A class=deterministic asil=B\n"
+      "  task t period=10ms wcet=100K priority=1\n"
+      "deploy A -> E\n");
+  Verifier verifier;
+  verifier.set_schedulability_hook(
+      [](const EcuDef&, const std::vector<const AppDef*>&, std::string* why) {
+        *why = "rejected by analysis";
+        return false;
+      });
+  const auto violations = verifier.verify(sys.model, sys.deployment);
+  bool found = false;
+  for (const auto& v : violations) {
+    found |= v.rule == "cpu.schedulability" &&
+             v.message == "rejected by analysis";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkLatencyFloor, ScalesWithPayloadAndKind) {
+  NetworkDef can{"c", NetworkKind::kCan, 500'000};
+  NetworkDef eth{"e", NetworkKind::kEthernet, 100'000'000};
+  EXPECT_GT(network_latency_floor(can, 64),
+            network_latency_floor(eth, 64));
+  EXPECT_GT(network_latency_floor(eth, 4000),
+            network_latency_floor(eth, 100));
+}
+
+}  // namespace
+}  // namespace dynaplat::model

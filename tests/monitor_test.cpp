@@ -1,0 +1,197 @@
+// Unit tests for the runtime monitor (Sec. 3.4): contract violations are
+// detected, reported to the sink and recorded with flight-recorder context.
+#include <gtest/gtest.h>
+
+#include "monitor/runtime_monitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaplat::monitor {
+namespace {
+
+struct Fixture {
+  sim::Simulator simulator;
+  sim::Trace trace;
+  os::EcuConfig config{.name = "ecu0", .cpu = {.mips = 100}};
+  os::Ecu ecu{simulator, config, nullptr, 0, &trace};
+};
+
+os::TaskConfig periodic(const std::string& name, sim::Duration period,
+                        std::uint64_t instructions, int priority) {
+  os::TaskConfig c;
+  c.name = name;
+  c.task_class = os::TaskClass::kDeterministic;
+  c.period = period;
+  c.instructions = instructions;
+  c.priority = priority;
+  return c;
+}
+
+TEST(RuntimeMonitor, HealthyTaskRaisesNoFaults) {
+  Fixture f;
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("ok", 10 * sim::kMillisecond, 100'000, 1));
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "ok";
+  contract.period = 10 * sim::kMillisecond;
+  contract.deadline = 10 * sim::kMillisecond;
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(sim::seconds(1));
+  EXPECT_TRUE(monitor.faults().empty());
+  EXPECT_GT(monitor.samples_taken(), 50u);
+}
+
+TEST(RuntimeMonitor, DetectsDeadlineMisses) {
+  Fixture f;
+  // 15 ms of work every 10 ms: structurally infeasible.
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("over", 10 * sim::kMillisecond, 1'500'000, 1));
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "over";
+  contract.period = 10 * sim::kMillisecond;
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(sim::seconds(1));
+  bool miss_fault = false;
+  for (const auto& fault : monitor.faults()) {
+    miss_fault |= fault.kind == "deadline_miss";
+  }
+  EXPECT_TRUE(miss_fault);
+}
+
+TEST(RuntimeMonitor, DetectsExcessJitter) {
+  Fixture f;
+  auto config = periodic("jittery", 10 * sim::kMillisecond, 500'000, 1);
+  config.execution_jitter = 0.8;  // +-80% execution time variation
+  const os::TaskId id = f.ecu.processor().add_task(config);
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "jittery";
+  contract.period = 10 * sim::kMillisecond;
+  contract.max_response_jitter = sim::kMillisecond;  // far below actual
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(sim::seconds(1));
+  bool jitter_fault = false;
+  for (const auto& fault : monitor.faults()) {
+    jitter_fault |= fault.kind == "jitter";
+  }
+  EXPECT_TRUE(jitter_fault);
+}
+
+TEST(RuntimeMonitor, ReportsThroughSink) {
+  Fixture f;
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("over", 10 * sim::kMillisecond, 1'500'000, 1));
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "over";
+  contract.period = 10 * sim::kMillisecond;
+  monitor.watch(contract);
+  int reported = 0;
+  monitor.set_report_sink([&](const FaultRecord&) { ++reported; });
+  monitor.start();
+  f.simulator.run_until(500 * sim::kMillisecond);
+  EXPECT_GT(reported, 0);
+  EXPECT_EQ(static_cast<std::size_t>(reported), monitor.faults().size());
+}
+
+TEST(RuntimeMonitor, FaultCarriesFlightRecorderContext) {
+  Fixture f;
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("over", 10 * sim::kMillisecond, 1'500'000, 1));
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "over";
+  contract.period = 10 * sim::kMillisecond;
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(500 * sim::kMillisecond);
+  ASSERT_FALSE(monitor.faults().empty());
+  // The trace was active, so pre-fault context must be attached.
+  EXPECT_FALSE(monitor.faults().front().context.empty());
+}
+
+TEST(RuntimeMonitor, StopPausesSampling) {
+  Fixture f;
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  monitor.start();
+  f.simulator.run_until(100 * sim::kMillisecond);
+  const auto samples = monitor.samples_taken();
+  monitor.stop();
+  f.simulator.run_until(sim::seconds(1));
+  EXPECT_EQ(monitor.samples_taken(), samples);
+}
+
+TEST(RuntimeMonitor, MonitoringConsumesCpu) {
+  // Overhead is real: samples are CPU work items (E10's cost).
+  Fixture f;
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = 1;  // nonexistent task: sampling still runs
+  contract.name = "ghost";
+  monitor.watch(contract);
+  monitor.start();
+  const auto before = f.ecu.processor().instructions_retired();
+  f.simulator.run_until(sim::seconds(1));
+  EXPECT_GT(f.ecu.processor().instructions_retired(), before);
+}
+
+TEST(RuntimeMonitor, CertificationReportListsWatchedTasks) {
+  Fixture f;
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("brake", 10 * sim::kMillisecond, 100'000, 1));
+  f.ecu.processor().start();
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "brake";
+  contract.period = 10 * sim::kMillisecond;
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(sim::seconds(1));
+  const std::string report = monitor.certification_report();
+  EXPECT_NE(report.find("brake"), std::string::npos);
+  EXPECT_NE(report.find("ecu0"), std::string::npos);
+}
+
+TEST(RuntimeMonitor, MemoryCeilingFault) {
+  Fixture f;
+  f.ecu.processor().start();
+  const os::ProcessId process = f.ecu.memory().create_process("app", 1 << 20);
+  ASSERT_TRUE(f.ecu.memory().allocate(process, 900 * 1024));
+  const os::TaskId id = f.ecu.processor().add_task(
+      periodic("leaky", 10 * sim::kMillisecond, 1'000, 1));
+  RuntimeMonitor monitor(f.ecu);
+  Contract contract;
+  contract.task = id;
+  contract.name = "leaky";
+  contract.period = 10 * sim::kMillisecond;
+  contract.process = process;
+  contract.max_memory_bytes = 512 * 1024;
+  monitor.watch(contract);
+  monitor.start();
+  f.simulator.run_until(100 * sim::kMillisecond);
+  bool memory_fault = false;
+  for (const auto& fault : monitor.faults()) {
+    memory_fault |= fault.kind == "memory";
+  }
+  EXPECT_TRUE(memory_fault);
+}
+
+}  // namespace
+}  // namespace dynaplat::monitor

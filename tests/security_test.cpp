@@ -1,0 +1,345 @@
+// Tests for package security, the update master, session authentication,
+// model-derived access control and the probabilistic security analyzer.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+#include "security/analyzer.hpp"
+#include "security/auth.hpp"
+#include "security/package.hpp"
+#include "security/update_master.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaplat::security {
+namespace {
+
+crypto::RsaKeyPair test_key() {
+  sim::Random rng(777);
+  return crypto::RsaKeyPair::generate(512, rng);
+}
+
+// --- Packages -----------------------------------------------------------------
+
+TEST(Package, SignedPackageVerifies) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  PackageVerifier verifier(key.pub);
+  const auto package = signer.sign("BrakeApp", 2, {1, 2, 3, 4, 5});
+  EXPECT_EQ(verifier.verify(package), VerifyResult::kOk);
+}
+
+TEST(Package, TamperedBinaryDetected) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  PackageVerifier verifier(key.pub);
+  auto package = signer.sign("BrakeApp", 2, {1, 2, 3, 4, 5});
+  package.binary[2] ^= 0xFF;
+  EXPECT_EQ(verifier.verify(package), VerifyResult::kDigestMismatch);
+}
+
+TEST(Package, TamperedManifestDetected) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  PackageVerifier verifier(key.pub);
+  auto package = signer.sign("BrakeApp", 2, {1, 2, 3});
+  package.manifest.version = 99;  // privilege-escalating version bump
+  EXPECT_EQ(verifier.verify(package), VerifyResult::kBadSignature);
+}
+
+TEST(Package, TruncatedBinaryDetected) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  PackageVerifier verifier(key.pub);
+  auto package = signer.sign("BrakeApp", 2, {1, 2, 3, 4});
+  package.binary.pop_back();
+  EXPECT_EQ(verifier.verify(package), VerifyResult::kSizeMismatch);
+}
+
+TEST(Package, WrongOemKeyDetected) {
+  const auto key = test_key();
+  sim::Random rng(888);
+  const auto other = crypto::RsaKeyPair::generate(512, rng);
+  PackageSigner signer(key);
+  PackageVerifier verifier(other.pub);
+  const auto package = signer.sign("BrakeApp", 2, {9});
+  EXPECT_EQ(verifier.verify(package), VerifyResult::kBadSignature);
+}
+
+TEST(Package, VerificationCostScalesWithSize) {
+  EXPECT_GT(PackageVerifier::verification_cost(1 << 20),
+            PackageVerifier::verification_cost(1 << 10));
+  // RSA floor dominates small packages.
+  EXPECT_GT(PackageVerifier::verification_cost(0), 1'000'000u);
+}
+
+// --- KeyServer / AccessMatrix ----------------------------------------------------
+
+TEST(KeyServer, PairKeysAreSymmetricAndStable) {
+  KeyServer ks(1);
+  ks.register_node(1);
+  ks.register_node(2);
+  const auto k1 = ks.session_key(1, 2);
+  const auto k2 = ks.session_key(2, 1);
+  ASSERT_TRUE(k1.has_value());
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_EQ(*k1, *k2);
+  EXPECT_EQ(ks.sessions(), 1u);
+}
+
+TEST(KeyServer, UnregisteredNodeGetsNoKey) {
+  KeyServer ks(1);
+  ks.register_node(1);
+  EXPECT_FALSE(ks.session_key(1, 9).has_value());
+}
+
+TEST(KeyServer, DistinctPairsGetDistinctKeys) {
+  KeyServer ks(1);
+  for (net::NodeId n = 1; n <= 3; ++n) ks.register_node(n);
+  EXPECT_NE(*ks.session_key(1, 2), *ks.session_key(1, 3));
+}
+
+TEST(AccessMatrix, RulesAndWildcard) {
+  AccessMatrix matrix;
+  matrix.allow(1, 100);
+  EXPECT_TRUE(matrix.allowed(1, 100));
+  EXPECT_FALSE(matrix.allowed(1, 101));
+  EXPECT_FALSE(matrix.allowed(2, 100));
+  matrix.allow_all(7);  // the data-logger case
+  EXPECT_TRUE(matrix.allowed(7, 100));
+  EXPECT_TRUE(matrix.allowed(7, 9999));
+  matrix.revoke(1, 100);
+  EXPECT_FALSE(matrix.allowed(1, 100));
+}
+
+// --- AuthenticationService over a simulated backbone ------------------------------
+
+class AuthFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    medium_ = std::make_unique<net::EthernetSwitch>(simulator_, "eth0",
+                                                    net::EthernetConfig{});
+    for (int i = 0; i < 2; ++i) {
+      os::EcuConfig config;
+      config.name = "ecu" + std::to_string(i);
+      config.cpu.mips = 1000;
+      ecus_.push_back(std::make_unique<os::Ecu>(
+          simulator_, config, medium_.get(), static_cast<net::NodeId>(i + 1)));
+      ecus_.back()->processor().start();
+      runtimes_.push_back(
+          std::make_unique<middleware::ServiceRuntime>(*ecus_.back()));
+    }
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<net::EthernetSwitch> medium_;
+  std::vector<std::unique_ptr<os::Ecu>> ecus_;
+  std::vector<std::unique_ptr<middleware::ServiceRuntime>> runtimes_;
+  KeyServer key_server_{42};
+};
+
+TEST_F(AuthFixture, SessionAuthenticatedEventFlows) {
+  AuthenticationService auth0(*runtimes_[0], key_server_, AuthMode::kSession);
+  AuthenticationService auth1(*runtimes_[1], key_server_, AuthMode::kSession);
+  runtimes_[0]->offer(5);
+  int received = 0;
+  runtimes_[1]->subscribe(5, 1, [&](std::vector<std::uint8_t>, net::NodeId) {
+    ++received;
+  });
+  // The first contact pays an asymmetric handshake (~120 ms of CPU on a
+  // 1000 MIPS core) before the subscribe leaves the node.
+  simulator_.run_until(500 * sim::kMillisecond);
+  runtimes_[0]->publish(5, 1, {1, 2, 3});
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(auth0.stats().tagged, 1u);
+  EXPECT_GE(auth1.stats().verified, 1u);
+  EXPECT_EQ(auth1.stats().rejected_tag, 0u);
+}
+
+TEST_F(AuthFixture, ForgedTagRejected) {
+  AuthenticationService auth1(*runtimes_[1], key_server_, AuthMode::kSession);
+  // Node 0 has NO auth service: its messages carry tag 0 and must be
+  // rejected by node 1's session-auth filter.
+  runtimes_[0]->offer(5);
+  int received = 0;
+  runtimes_[1]->subscribe(5, 1, [&](std::vector<std::uint8_t>, net::NodeId) {
+    ++received;
+  });
+  simulator_.run_until(10 * sim::kMillisecond);
+  runtimes_[0]->publish(5, 1, {1, 2, 3});
+  simulator_.run_until(50 * sim::kMillisecond);
+  EXPECT_EQ(received, 0);
+  EXPECT_GE(auth1.stats().rejected_tag, 1u);
+}
+
+TEST_F(AuthFixture, AccessMatrixBlocksUnauthorizedSubscribe) {
+  AccessMatrix matrix;  // empty: nobody may subscribe/call anything
+  AuthenticationService auth0(*runtimes_[0], key_server_, AuthMode::kNone,
+                              &matrix);
+  runtimes_[0]->offer(5);
+  runtimes_[0]->provide_method(5, 2, [](const std::vector<std::uint8_t>&) {
+    return std::vector<std::uint8_t>{1};
+  });
+  int received = 0;
+  runtimes_[1]->subscribe(5, 1, [&](std::vector<std::uint8_t>, net::NodeId) {
+    ++received;
+  });
+  simulator_.run_until(10 * sim::kMillisecond);
+  runtimes_[0]->publish(5, 1, {1});
+  simulator_.run_until(50 * sim::kMillisecond);
+  // Subscribe was filtered out at node 0, so no notification ever went out.
+  EXPECT_EQ(received, 0);
+  EXPECT_GE(auth0.stats().rejected_access, 1u);
+}
+
+TEST_F(AuthFixture, AccessMatrixPermitsAuthorizedSubscribe) {
+  AccessMatrix matrix;
+  matrix.allow(runtimes_[1]->node(), 5);
+  AuthenticationService auth0(*runtimes_[0], key_server_, AuthMode::kNone,
+                              &matrix);
+  runtimes_[0]->offer(5);
+  int received = 0;
+  runtimes_[1]->subscribe(5, 1, [&](std::vector<std::uint8_t>, net::NodeId) {
+    ++received;
+  });
+  simulator_.run_until(10 * sim::kMillisecond);
+  runtimes_[0]->publish(5, 1, {1});
+  simulator_.run_until(50 * sim::kMillisecond);
+  EXPECT_EQ(received, 1);
+}
+
+// --- Update master ------------------------------------------------------------------
+
+TEST_F(AuthFixture, UpdateMasterVerifiesOnBehalfOfWeakEcu) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  UpdateMasterService master(*runtimes_[0], key.pub);
+  UpdateMasterClient client(*runtimes_[1]);
+  const auto package = signer.sign("App", 1, std::vector<std::uint8_t>(4096, 7));
+  int verdicts = 0;
+  bool last = false;
+  client.verify(package, [&](bool ok) {
+    ++verdicts;
+    last = ok;
+  });
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_EQ(verdicts, 1);
+  EXPECT_TRUE(last);
+  EXPECT_EQ(master.verifications_served(), 1u);
+}
+
+TEST_F(AuthFixture, UpdateMasterRejectsTamperedPackage) {
+  const auto key = test_key();
+  PackageSigner signer(key);
+  UpdateMasterService master(*runtimes_[0], key.pub);
+  UpdateMasterClient client(*runtimes_[1]);
+  auto package = signer.sign("App", 1, std::vector<std::uint8_t>(128, 7));
+  package.binary[5] ^= 0x01;  // tampered in transit
+  bool verdict = true;
+  client.verify(package, [&](bool ok) { verdict = ok; });
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_FALSE(verdict);
+}
+
+TEST(UpdateMasterCodec, RequestRoundTrip) {
+  PackageManifest manifest;
+  manifest.app_name = "X";
+  manifest.version = 3;
+  manifest.binary_size = 77;
+  manifest.binary_digest.fill(0xAB);
+  manifest.min_platform = "1.0";
+  const std::vector<std::uint8_t> signature{1, 2, 3};
+  crypto::Digest256 digest;
+  digest.fill(0xCD);
+  const auto wire = encode_verify_request(manifest, signature, digest);
+  PackageManifest out_manifest;
+  std::vector<std::uint8_t> out_signature;
+  crypto::Digest256 out_digest;
+  ASSERT_TRUE(
+      decode_verify_request(wire, out_manifest, out_signature, out_digest));
+  EXPECT_EQ(out_manifest.app_name, "X");
+  EXPECT_EQ(out_manifest.version, 3u);
+  EXPECT_EQ(out_manifest.binary_size, 77u);
+  EXPECT_EQ(out_signature, signature);
+  EXPECT_EQ(out_digest, digest);
+}
+
+TEST(UpdateMasterCodec, TruncatedRequestRejected) {
+  PackageManifest manifest;
+  std::vector<std::uint8_t> signature;
+  crypto::Digest256 digest;
+  EXPECT_FALSE(decode_verify_request({1, 2, 3}, manifest, signature, digest));
+}
+
+// --- Security analyzer ------------------------------------------------------------------
+
+AttackGraph demo_vehicle() {
+  AttackGraph graph;
+  const auto telematics = graph.add({"telematics", 0.30, true, false});
+  const auto gateway = graph.add({"gateway", 0.10, false, false});
+  const auto infotainment = graph.add({"infotainment", 0.25, false, false});
+  const auto brake = graph.add({"brake_ecu", 0.05, false, true});
+  graph.biconnect(telematics, gateway);
+  graph.biconnect(infotainment, gateway);
+  graph.connect(gateway, brake);
+  return graph;
+}
+
+TEST(SecurityAnalyzer, EntryIsAlwaysCompromised) {
+  SecurityAnalyzer analyzer;
+  const auto graph = demo_vehicle();
+  const auto report = analyzer.analyze(graph);
+  EXPECT_DOUBLE_EQ(
+      report.compromise_probability[graph.index_of("telematics")], 1.0);
+}
+
+TEST(SecurityAnalyzer, RiskGrowsWithHorizon) {
+  SecurityAnalyzer analyzer;
+  const auto graph = demo_vehicle();
+  EXPECT_LT(analyzer.analyze(graph, 5).asset_risk,
+            analyzer.analyze(graph, 100).asset_risk);
+}
+
+TEST(SecurityAnalyzer, UnreachableAssetIsSafe) {
+  AttackGraph graph;
+  graph.add({"telematics", 0.5, true, false});
+  graph.add({"brake", 0.5, false, true});  // no edge to it
+  SecurityAnalyzer analyzer;
+  EXPECT_DOUBLE_EQ(analyzer.analyze(graph).asset_risk, 0.0);
+}
+
+TEST(SecurityAnalyzer, GatewayHardeningReducesRisk) {
+  SecurityAnalyzer analyzer;
+  const auto graph = demo_vehicle();
+  const double gain =
+      analyzer.hardening_gain(graph, graph.index_of("gateway"), 0.2);
+  EXPECT_GT(gain, 0.0);
+}
+
+TEST(SecurityAnalyzer, SegmentedArchitectureBeatsFlat) {
+  // Flat: telematics directly exposes the brake ECU.
+  AttackGraph flat;
+  const auto t1 = flat.add({"telematics", 0.3, true, false});
+  const auto b1 = flat.add({"brake", 0.05, false, true});
+  flat.connect(t1, b1);
+  // Segmented: a hardened gateway sits in between.
+  AttackGraph segmented;
+  const auto t2 = segmented.add({"telematics", 0.3, true, false});
+  const auto gw = segmented.add({"gateway", 0.02, false, false});
+  const auto b2 = segmented.add({"brake", 0.05, false, true});
+  segmented.connect(t2, gw);
+  segmented.connect(gw, b2);
+  SecurityAnalyzer analyzer;
+  EXPECT_LT(analyzer.analyze(segmented).asset_risk,
+            analyzer.analyze(flat).asset_risk);
+}
+
+TEST(SecurityAnalyzer, ExpectedStepsOrderedByExposure) {
+  SecurityAnalyzer analyzer;
+  const auto graph = demo_vehicle();
+  const auto report = analyzer.analyze(graph, 100);
+  // The asset takes longer than direct gateway compromise.
+  EXPECT_GT(report.expected_steps_to_asset, 1.0);
+}
+
+}  // namespace
+}  // namespace dynaplat::security

@@ -1,0 +1,248 @@
+// Unit tests for the discrete-event simulation kernel, RNG and statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace dynaplat::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), 0);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(30, [&] { order.push_back(3); });
+  simulator.schedule_at(10, [&] { order.push_back(1); });
+  simulator.schedule_at(20, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+}
+
+TEST(Simulator, SameTimestampFiresInScheduleOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(10, [&] { order.push_back(1); });
+  simulator.schedule_at(10, [&] { order.push_back(2); });
+  simulator.schedule_at(10, [&] { order.push_back(3); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator simulator;
+  Time fired_at = -1;
+  simulator.schedule_at(100, [&] {
+    simulator.schedule_in(50, [&] { fired_at = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(simulator.cancel(id));  // second cancel is a no-op
+}
+
+TEST(Simulator, RecurrenceFiresPeriodically) {
+  Simulator simulator;
+  int count = 0;
+  const EventId id = simulator.schedule_every(5, 10, [&] { ++count; });
+  simulator.run_until(45);
+  EXPECT_EQ(count, 5);  // t = 5, 15, 25, 35, 45
+  simulator.cancel(id);
+  simulator.run_until(100);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, RecurrenceCanCancelItself) {
+  Simulator simulator;
+  int count = 0;
+  EventId id;
+  id = simulator.schedule_every(1, 1, [&] {
+    if (++count == 3) simulator.cancel(id);
+  });
+  simulator.run_until(100);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBound) {
+  Simulator simulator;
+  simulator.schedule_at(10, [] {});
+  simulator.run_until(500);
+  EXPECT_EQ(simulator.now(), 500);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator simulator;
+  bool late_fired = false;
+  simulator.schedule_at(1000, [&] { late_fired = true; });
+  simulator.run_until(500);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(simulator.pending(), 1u);
+  simulator.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator simulator;
+  int count = 0;
+  simulator.schedule_every(1, 1, [&] {
+    if (++count == 10) simulator.stop();
+  });
+  simulator.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventsExecutedCountsFiredOnly) {
+  Simulator simulator;
+  simulator.schedule_at(1, [] {});
+  const EventId cancelled = simulator.schedule_at(2, [] {});
+  simulator.cancel(cancelled);
+  simulator.run();
+  EXPECT_EQ(simulator.events_executed(), 1u);
+}
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformIntStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, Uniform01StaysInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, ExponentialMeanApproximatelyCorrect) {
+  Random rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Random, NormalMomentsApproximatelyCorrect) {
+  Random rng(13);
+  Stats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Random, ForkProducesIndependentStream) {
+  Random a(42);
+  Random b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  Stats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.percentile(50), 0.0);
+}
+
+TEST(Stats, BasicMoments) {
+  Stats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.01);
+}
+
+TEST(Stats, PercentilesAreMonotone) {
+  Stats stats;
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) stats.add(rng.uniform(0, 100));
+  double prev = stats.percentile(0);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = stats.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Stats, PercentileOfUniformMatchesValue) {
+  Stats stats;
+  for (int i = 0; i <= 100; ++i) stats.add(static_cast<double>(i));
+  EXPECT_NEAR(stats.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(stats.percentile(90), 90.0, 1.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBuckets) {
+  Histogram h = Histogram::linear(0, 100, 10);
+  h.add(5);    // bucket 1
+  h.add(15);   // bucket 2
+  h.add(-1);   // underflow
+  h.add(150);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_EQ(h.count_at(h.size() - 1), 1u);
+}
+
+TEST(Trace, RecordsAndCounts) {
+  Trace trace;
+  trace.record(10, TraceCategory::kTask, "ecu0/brake", "deadline_miss", 3);
+  trace.record(20, TraceCategory::kTask, "ecu0/brake", "complete");
+  trace.record(30, TraceCategory::kFault, "ecu0", "ecu_failed");
+  EXPECT_EQ(trace.count(TraceCategory::kTask, "deadline_miss"), 1u);
+  EXPECT_EQ(trace.count(TraceCategory::kTask, "complete"), 1u);
+  const auto faults = trace.filter([](const TraceRecord& r) {
+    return r.category == TraceCategory::kFault;
+  });
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].source, "ecu0");
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace trace;
+  trace.set_enabled(false);
+  trace.record(10, TraceCategory::kTask, "x", "y");
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace dynaplat::sim

@@ -1,0 +1,175 @@
+// Tests for the XiL framework: plant physics, PID behaviour, MiL vs SiL
+// agreement (Sec. 2.4) and fault-injection effects.
+#include <gtest/gtest.h>
+
+#include "xil/plant.hpp"
+#include "xil/testbench.hpp"
+
+namespace dynaplat::xil {
+namespace {
+
+TEST(VehiclePlant, AcceleratesUnderThrottle) {
+  VehiclePlant plant;
+  for (int i = 0; i < 100; ++i) plant.step(1.0, 0.0, 0.01);
+  EXPECT_GT(plant.speed_mps(), 1.0);
+}
+
+TEST(VehiclePlant, BrakesToStandstill) {
+  VehiclePlant::Params params;
+  params.initial_speed_mps = 30.0;
+  VehiclePlant plant(params);
+  for (int i = 0; i < 2000; ++i) plant.step(0.0, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(plant.speed_mps(), 0.0);
+}
+
+TEST(VehiclePlant, TerminalSpeedLimitedByDrag) {
+  VehiclePlant plant;
+  for (int i = 0; i < 100000; ++i) plant.step(1.0, 0.0, 0.01);
+  const double terminal = plant.speed_mps();
+  // v_t = sqrt((F - rolling)/drag) = sqrt((4500-180)/0.42) ~ 101 m/s.
+  EXPECT_NEAR(terminal, 101.0, 2.0);
+}
+
+TEST(VehiclePlant, DistanceAccumulates) {
+  VehiclePlant::Params params;
+  params.initial_speed_mps = 10.0;
+  params.rolling_resistance_n = 0.0;
+  params.drag_coefficient = 0.0;
+  VehiclePlant plant(params);
+  for (int i = 0; i < 100; ++i) plant.step(0.0, 0.0, 0.01);
+  EXPECT_NEAR(plant.distance_m(), 10.0, 0.1);
+}
+
+TEST(Pid, DrivesErrorToZero) {
+  PidController pid({0.5, 0.1, 0.0, -1.0, 1.0});
+  double value = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double out = pid.update(10.0 - value, 0.01);
+    value += out * 0.5;  // simple first-order plant
+  }
+  EXPECT_NEAR(value, 10.0, 0.2);
+}
+
+TEST(Pid, OutputClamped) {
+  PidController pid({100.0, 0.0, 0.0, -1.0, 1.0});
+  EXPECT_EQ(pid.update(1000.0, 0.01), 1.0);
+  EXPECT_EQ(pid.update(-1000.0, 0.01), -1.0);
+}
+
+TEST(LeadVehicle, TracksCommandedSpeedWithLimitedAccel) {
+  LeadVehicle lead(20.0);
+  lead.command_speed(10.0);
+  lead.step(1.0);
+  EXPECT_NEAR(lead.speed_mps(), 17.0, 1e-9);  // limited to 3 m/s^2
+  for (int i = 0; i < 10; ++i) lead.step(1.0);
+  EXPECT_NEAR(lead.speed_mps(), 10.0, 1e-9);
+}
+
+TEST(SignalTrace, SettlingTimeDetected) {
+  SignalTrace trace;
+  for (int i = 0; i <= 100; ++i) {
+    const double v = i < 50 ? static_cast<double>(i) : 50.0;
+    trace.record(i * sim::kMillisecond, v);
+  }
+  const auto settled = trace.settling_time(50.0, 0.6);
+  ASSERT_TRUE(settled.has_value());
+  EXPECT_LE(*settled, 50 * sim::kMillisecond);
+  EXPECT_FALSE(trace.settling_time(80.0, 1.0).has_value());
+}
+
+TEST(SignalTrace, OvershootMeasured) {
+  SignalTrace trace;
+  trace.record(0, 0.0);
+  trace.record(1, 12.5);
+  trace.record(2, 10.0);
+  EXPECT_DOUBLE_EQ(trace.overshoot(10.0), 2.5);
+}
+
+// --- MiL -------------------------------------------------------------------------
+
+TEST(Mil, CruiseControlSettlesAtTarget) {
+  CruiseScenario scenario;
+  scenario.target_speed_mps = 25.0;
+  const CruiseResult result = run_mil(scenario);
+  ASSERT_TRUE(result.settling_time.has_value());
+  EXPECT_LT(result.steady_state_error_mps, 0.5);
+  EXPECT_LT(result.overshoot_mps, 5.0);
+}
+
+TEST(Mil, ReachesDifferentTargets) {
+  for (double target : {10.0, 20.0, 30.0}) {
+    CruiseScenario scenario;
+    scenario.target_speed_mps = target;
+    const CruiseResult result = run_mil(scenario);
+    EXPECT_NEAR(result.speed.last(), target, 1.0) << "target " << target;
+  }
+}
+
+// --- SiL -------------------------------------------------------------------------
+
+TEST(Sil, CruiseControlSettlesLikeMil) {
+  CruiseScenario scenario;
+  scenario.target_speed_mps = 25.0;
+  const CruiseResult mil = run_mil(scenario);
+  const CruiseResult sil = run_sil(scenario);
+  ASSERT_TRUE(mil.settling_time.has_value());
+  ASSERT_TRUE(sil.settling_time.has_value());
+  // SiL adds communication + scheduling delay: settling within 20% of MiL.
+  const double mil_settle = static_cast<double>(*mil.settling_time);
+  const double sil_settle = static_cast<double>(*sil.settling_time);
+  EXPECT_LT(std::abs(sil_settle - mil_settle) / mil_settle, 0.2);
+  EXPECT_LT(sil.steady_state_error_mps, 1.0);
+  EXPECT_EQ(sil.deadline_misses, 0u);
+}
+
+TEST(Sil, SurvivesModerateFrameLoss) {
+  CruiseScenario scenario;
+  scenario.frame_loss_rate = 0.05;
+  const CruiseResult result = run_sil(scenario);
+  ASSERT_TRUE(result.settling_time.has_value());
+  EXPECT_GT(result.frames_dropped, 0u);
+  EXPECT_LT(result.steady_state_error_mps, 1.5);
+}
+
+TEST(Sil, HeavyFrameLossDegradesControl) {
+  CruiseScenario nominal;
+  CruiseScenario lossy;
+  lossy.frame_loss_rate = 0.6;
+  const CruiseResult good = run_sil(nominal);
+  const CruiseResult bad = run_sil(lossy);
+  // Control quality monotonically degrades with loss.
+  EXPECT_GE(bad.steady_state_error_mps, good.steady_state_error_mps);
+}
+
+TEST(Sil, BackgroundLoadDoesNotBreakControlUnderTtPlatform) {
+  CruiseScenario scenario;
+  scenario.background_load_instructions = 1'500'000;  // ~37% of a 200 MIPS ECU
+  const CruiseResult result = run_sil(scenario);
+  ASSERT_TRUE(result.settling_time.has_value());
+  EXPECT_EQ(result.deadline_misses, 0u);
+}
+
+TEST(Sil, CostExceedsMilCost) {
+  // The SiL level simulates middleware, scheduling and frames: it must
+  // execute far more simulation events than MiL's bare loop (E11's ratio).
+  CruiseScenario scenario;
+  scenario.duration = sim::seconds(10);
+  const CruiseResult mil = run_mil(scenario);
+  const CruiseResult sil = run_sil(scenario);
+  EXPECT_GT(sil.events_executed, 5 * mil.events_executed);
+}
+
+class SilTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SilTargetSweep, TracksTarget) {
+  CruiseScenario scenario;
+  scenario.target_speed_mps = GetParam();
+  const CruiseResult result = run_sil(scenario);
+  EXPECT_NEAR(result.speed.last(), GetParam(), 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SilTargetSweep,
+                         ::testing::Values(10.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace dynaplat::xil
