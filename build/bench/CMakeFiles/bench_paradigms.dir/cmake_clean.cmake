@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paradigms.dir/bench_paradigms.cpp.o"
+  "CMakeFiles/bench_paradigms.dir/bench_paradigms.cpp.o.d"
+  "bench_paradigms"
+  "bench_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

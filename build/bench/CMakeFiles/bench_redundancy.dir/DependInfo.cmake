@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_redundancy.cpp" "bench/CMakeFiles/bench_redundancy.dir/bench_redundancy.cpp.o" "gcc" "bench/CMakeFiles/bench_redundancy.dir/bench_redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/dynaplat_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/xil/CMakeFiles/dynaplat_xil.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dynaplat_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/dynaplat_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/dynaplat_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dynaplat_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dynaplat_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dynaplat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

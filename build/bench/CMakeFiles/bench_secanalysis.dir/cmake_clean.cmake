@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secanalysis.dir/bench_secanalysis.cpp.o"
+  "CMakeFiles/bench_secanalysis.dir/bench_secanalysis.cpp.o.d"
+  "bench_secanalysis"
+  "bench_secanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

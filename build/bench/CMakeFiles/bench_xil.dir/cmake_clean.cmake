@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xil.dir/bench_xil.cpp.o"
+  "CMakeFiles/bench_xil.dir/bench_xil.cpp.o.d"
+  "bench_xil"
+  "bench_xil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

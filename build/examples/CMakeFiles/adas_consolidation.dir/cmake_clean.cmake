@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adas_consolidation.dir/adas_consolidation.cpp.o"
+  "CMakeFiles/adas_consolidation.dir/adas_consolidation.cpp.o.d"
+  "adas_consolidation"
+  "adas_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adas_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_gateway.dir/legacy_gateway.cpp.o"
+  "CMakeFiles/legacy_gateway.dir/legacy_gateway.cpp.o.d"
+  "legacy_gateway"
+  "legacy_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_workbench.dir/model_workbench.cpp.o"
+  "CMakeFiles/model_workbench.dir/model_workbench.cpp.o.d"
+  "model_workbench"
+  "model_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/dynaplat_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/dynaplat_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/dynaplat_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/dynaplat_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/dynaplat_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/dynaplat_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dynaplat_crypto.dir/sha256.cpp.o.d"
+  "libdynaplat_crypto.a"
+  "libdynaplat_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/admission.cpp" "src/dse/CMakeFiles/dynaplat_dse.dir/admission.cpp.o" "gcc" "src/dse/CMakeFiles/dynaplat_dse.dir/admission.cpp.o.d"
+  "/root/repo/src/dse/exploration.cpp" "src/dse/CMakeFiles/dynaplat_dse.dir/exploration.cpp.o" "gcc" "src/dse/CMakeFiles/dynaplat_dse.dir/exploration.cpp.o.d"
+  "/root/repo/src/dse/schedulability.cpp" "src/dse/CMakeFiles/dynaplat_dse.dir/schedulability.cpp.o" "gcc" "src/dse/CMakeFiles/dynaplat_dse.dir/schedulability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dynaplat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

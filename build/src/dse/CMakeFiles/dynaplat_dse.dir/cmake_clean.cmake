@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_dse.dir/admission.cpp.o"
+  "CMakeFiles/dynaplat_dse.dir/admission.cpp.o.d"
+  "CMakeFiles/dynaplat_dse.dir/exploration.cpp.o"
+  "CMakeFiles/dynaplat_dse.dir/exploration.cpp.o.d"
+  "CMakeFiles/dynaplat_dse.dir/schedulability.cpp.o"
+  "CMakeFiles/dynaplat_dse.dir/schedulability.cpp.o.d"
+  "libdynaplat_dse.a"
+  "libdynaplat_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/message.cpp" "src/middleware/CMakeFiles/dynaplat_middleware.dir/message.cpp.o" "gcc" "src/middleware/CMakeFiles/dynaplat_middleware.dir/message.cpp.o.d"
+  "/root/repo/src/middleware/payload.cpp" "src/middleware/CMakeFiles/dynaplat_middleware.dir/payload.cpp.o" "gcc" "src/middleware/CMakeFiles/dynaplat_middleware.dir/payload.cpp.o.d"
+  "/root/repo/src/middleware/runtime.cpp" "src/middleware/CMakeFiles/dynaplat_middleware.dir/runtime.cpp.o" "gcc" "src/middleware/CMakeFiles/dynaplat_middleware.dir/runtime.cpp.o.d"
+  "/root/repo/src/middleware/transport.cpp" "src/middleware/CMakeFiles/dynaplat_middleware.dir/transport.cpp.o" "gcc" "src/middleware/CMakeFiles/dynaplat_middleware.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_middleware.dir/message.cpp.o"
+  "CMakeFiles/dynaplat_middleware.dir/message.cpp.o.d"
+  "CMakeFiles/dynaplat_middleware.dir/payload.cpp.o"
+  "CMakeFiles/dynaplat_middleware.dir/payload.cpp.o.d"
+  "CMakeFiles/dynaplat_middleware.dir/runtime.cpp.o"
+  "CMakeFiles/dynaplat_middleware.dir/runtime.cpp.o.d"
+  "CMakeFiles/dynaplat_middleware.dir/transport.cpp.o"
+  "CMakeFiles/dynaplat_middleware.dir/transport.cpp.o.d"
+  "libdynaplat_middleware.a"
+  "libdynaplat_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/codegen.cpp" "src/model/CMakeFiles/dynaplat_model.dir/codegen.cpp.o" "gcc" "src/model/CMakeFiles/dynaplat_model.dir/codegen.cpp.o.d"
+  "/root/repo/src/model/parser.cpp" "src/model/CMakeFiles/dynaplat_model.dir/parser.cpp.o" "gcc" "src/model/CMakeFiles/dynaplat_model.dir/parser.cpp.o.d"
+  "/root/repo/src/model/system_model.cpp" "src/model/CMakeFiles/dynaplat_model.dir/system_model.cpp.o" "gcc" "src/model/CMakeFiles/dynaplat_model.dir/system_model.cpp.o.d"
+  "/root/repo/src/model/verifier.cpp" "src/model/CMakeFiles/dynaplat_model.dir/verifier.cpp.o" "gcc" "src/model/CMakeFiles/dynaplat_model.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

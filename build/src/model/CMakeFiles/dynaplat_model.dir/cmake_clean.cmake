@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_model.dir/codegen.cpp.o"
+  "CMakeFiles/dynaplat_model.dir/codegen.cpp.o.d"
+  "CMakeFiles/dynaplat_model.dir/parser.cpp.o"
+  "CMakeFiles/dynaplat_model.dir/parser.cpp.o.d"
+  "CMakeFiles/dynaplat_model.dir/system_model.cpp.o"
+  "CMakeFiles/dynaplat_model.dir/system_model.cpp.o.d"
+  "CMakeFiles/dynaplat_model.dir/verifier.cpp.o"
+  "CMakeFiles/dynaplat_model.dir/verifier.cpp.o.d"
+  "libdynaplat_model.a"
+  "libdynaplat_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/runtime_monitor.cpp" "src/monitor/CMakeFiles/dynaplat_monitor.dir/runtime_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/dynaplat_monitor.dir/runtime_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

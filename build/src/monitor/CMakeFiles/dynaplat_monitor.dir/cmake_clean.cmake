@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_monitor.dir/runtime_monitor.cpp.o"
+  "CMakeFiles/dynaplat_monitor.dir/runtime_monitor.cpp.o.d"
+  "libdynaplat_monitor.a"
+  "libdynaplat_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynaplat_monitor.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/can_bus.cpp" "src/net/CMakeFiles/dynaplat_net.dir/can_bus.cpp.o" "gcc" "src/net/CMakeFiles/dynaplat_net.dir/can_bus.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/dynaplat_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/dynaplat_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/flexray.cpp" "src/net/CMakeFiles/dynaplat_net.dir/flexray.cpp.o" "gcc" "src/net/CMakeFiles/dynaplat_net.dir/flexray.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/dynaplat_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/dynaplat_net.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

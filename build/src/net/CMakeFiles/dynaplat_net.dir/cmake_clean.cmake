@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_net.dir/can_bus.cpp.o"
+  "CMakeFiles/dynaplat_net.dir/can_bus.cpp.o.d"
+  "CMakeFiles/dynaplat_net.dir/ethernet.cpp.o"
+  "CMakeFiles/dynaplat_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/dynaplat_net.dir/flexray.cpp.o"
+  "CMakeFiles/dynaplat_net.dir/flexray.cpp.o.d"
+  "CMakeFiles/dynaplat_net.dir/router.cpp.o"
+  "CMakeFiles/dynaplat_net.dir/router.cpp.o.d"
+  "libdynaplat_net.a"
+  "libdynaplat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

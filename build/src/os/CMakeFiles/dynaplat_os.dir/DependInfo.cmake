@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/ecu.cpp" "src/os/CMakeFiles/dynaplat_os.dir/ecu.cpp.o" "gcc" "src/os/CMakeFiles/dynaplat_os.dir/ecu.cpp.o.d"
+  "/root/repo/src/os/memory.cpp" "src/os/CMakeFiles/dynaplat_os.dir/memory.cpp.o" "gcc" "src/os/CMakeFiles/dynaplat_os.dir/memory.cpp.o.d"
+  "/root/repo/src/os/processor.cpp" "src/os/CMakeFiles/dynaplat_os.dir/processor.cpp.o" "gcc" "src/os/CMakeFiles/dynaplat_os.dir/processor.cpp.o.d"
+  "/root/repo/src/os/resource.cpp" "src/os/CMakeFiles/dynaplat_os.dir/resource.cpp.o" "gcc" "src/os/CMakeFiles/dynaplat_os.dir/resource.cpp.o.d"
+  "/root/repo/src/os/scheduler.cpp" "src/os/CMakeFiles/dynaplat_os.dir/scheduler.cpp.o" "gcc" "src/os/CMakeFiles/dynaplat_os.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_os.dir/ecu.cpp.o"
+  "CMakeFiles/dynaplat_os.dir/ecu.cpp.o.d"
+  "CMakeFiles/dynaplat_os.dir/memory.cpp.o"
+  "CMakeFiles/dynaplat_os.dir/memory.cpp.o.d"
+  "CMakeFiles/dynaplat_os.dir/processor.cpp.o"
+  "CMakeFiles/dynaplat_os.dir/processor.cpp.o.d"
+  "CMakeFiles/dynaplat_os.dir/resource.cpp.o"
+  "CMakeFiles/dynaplat_os.dir/resource.cpp.o.d"
+  "CMakeFiles/dynaplat_os.dir/scheduler.cpp.o"
+  "CMakeFiles/dynaplat_os.dir/scheduler.cpp.o.d"
+  "libdynaplat_os.a"
+  "libdynaplat_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/clock_sync.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/clock_sync.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/clock_sync.cpp.o.d"
+  "/root/repo/src/platform/diagnostics.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/diagnostics.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/platform/node.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/node.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/node.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/platform.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/platform.cpp.o.d"
+  "/root/repo/src/platform/reconfiguration.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/reconfiguration.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/reconfiguration.cpp.o.d"
+  "/root/repo/src/platform/redundancy.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/redundancy.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/redundancy.cpp.o.d"
+  "/root/repo/src/platform/update.cpp" "src/platform/CMakeFiles/dynaplat_platform.dir/update.cpp.o" "gcc" "src/platform/CMakeFiles/dynaplat_platform.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dynaplat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/dynaplat_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dynaplat_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/dynaplat_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dynaplat_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dynaplat_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_platform.dir/clock_sync.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/diagnostics.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/node.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/node.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/platform.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/reconfiguration.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/reconfiguration.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/redundancy.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/redundancy.cpp.o.d"
+  "CMakeFiles/dynaplat_platform.dir/update.cpp.o"
+  "CMakeFiles/dynaplat_platform.dir/update.cpp.o.d"
+  "libdynaplat_platform.a"
+  "libdynaplat_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

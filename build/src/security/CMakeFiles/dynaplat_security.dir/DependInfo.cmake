@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/analyzer.cpp" "src/security/CMakeFiles/dynaplat_security.dir/analyzer.cpp.o" "gcc" "src/security/CMakeFiles/dynaplat_security.dir/analyzer.cpp.o.d"
+  "/root/repo/src/security/auth.cpp" "src/security/CMakeFiles/dynaplat_security.dir/auth.cpp.o" "gcc" "src/security/CMakeFiles/dynaplat_security.dir/auth.cpp.o.d"
+  "/root/repo/src/security/package.cpp" "src/security/CMakeFiles/dynaplat_security.dir/package.cpp.o" "gcc" "src/security/CMakeFiles/dynaplat_security.dir/package.cpp.o.d"
+  "/root/repo/src/security/update_master.cpp" "src/security/CMakeFiles/dynaplat_security.dir/update_master.cpp.o" "gcc" "src/security/CMakeFiles/dynaplat_security.dir/update_master.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dynaplat_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/dynaplat_middleware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

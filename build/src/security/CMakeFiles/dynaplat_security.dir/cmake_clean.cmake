@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_security.dir/analyzer.cpp.o"
+  "CMakeFiles/dynaplat_security.dir/analyzer.cpp.o.d"
+  "CMakeFiles/dynaplat_security.dir/auth.cpp.o"
+  "CMakeFiles/dynaplat_security.dir/auth.cpp.o.d"
+  "CMakeFiles/dynaplat_security.dir/package.cpp.o"
+  "CMakeFiles/dynaplat_security.dir/package.cpp.o.d"
+  "CMakeFiles/dynaplat_security.dir/update_master.cpp.o"
+  "CMakeFiles/dynaplat_security.dir/update_master.cpp.o.d"
+  "libdynaplat_security.a"
+  "libdynaplat_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

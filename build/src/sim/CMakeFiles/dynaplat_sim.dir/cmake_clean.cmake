@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_sim.dir/random.cpp.o"
+  "CMakeFiles/dynaplat_sim.dir/random.cpp.o.d"
+  "CMakeFiles/dynaplat_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dynaplat_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/dynaplat_sim.dir/stats.cpp.o"
+  "CMakeFiles/dynaplat_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/dynaplat_sim.dir/trace.cpp.o"
+  "CMakeFiles/dynaplat_sim.dir/trace.cpp.o.d"
+  "libdynaplat_sim.a"
+  "libdynaplat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

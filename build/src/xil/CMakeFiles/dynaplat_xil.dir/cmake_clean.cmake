@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaplat_xil.dir/testbench.cpp.o"
+  "CMakeFiles/dynaplat_xil.dir/testbench.cpp.o.d"
+  "libdynaplat_xil.a"
+  "libdynaplat_xil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaplat_xil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/dse_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/dse_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/dse_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/middleware_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/middleware_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/middleware_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/multicore_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/multicore_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/multicore_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/os_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/os_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/os_test.cpp.o.d"
+  "/root/repo/tests/platform_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/platform_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/platform_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/security_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/security_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/security_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/xil_test.cpp" "tests/CMakeFiles/dynaplat_tests.dir/xil_test.cpp.o" "gcc" "tests/CMakeFiles/dynaplat_tests.dir/xil_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dynaplat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dynaplat_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaplat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynaplat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dynaplat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/dynaplat_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dynaplat_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/dynaplat_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dynaplat_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dynaplat_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/xil/CMakeFiles/dynaplat_xil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
