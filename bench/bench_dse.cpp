@@ -8,11 +8,18 @@
 // Expected shape: exhaustive blows up past ~6 apps x 4 ECUs; greedy is
 // near-free but leaves cost on the table; SA/GA close most of the gap at
 // 100-1000x fewer evaluations than exhaustive.
+//
+// E5b additionally measures the parallel/memoized evaluation path against
+// the legacy serial always-reverify baseline and emits machine-readable
+// results to BENCH_dse.json (candidates/sec, speedup, cache hit rate) so
+// successive PRs accumulate a perf trajectory.
+#include <cstdio>
 #include <string>
 
 #include <cmath>
 
 #include "bench/common.hpp"
+#include "concurrency/thread_pool.hpp"
 #include "dse/exploration.hpp"
 #include "model/parser.hpp"
 #include "sim/random.hpp"
@@ -48,6 +55,146 @@ model::ParsedSystem make_system(std::size_t apps, std::size_t ecus,
     if (a + 1 < apps) dsl += "  provides I" + std::to_string(a) + "\n";
   }
   return model::parse_system(dsl);
+}
+
+struct ThroughputSample {
+  std::uint64_t candidates = 0;
+  std::uint64_t cache_hits = 0;
+  double wall_ms = 0.0;
+  double cost = 0.0;
+  double per_second() const {
+    return wall_ms > 0.0 ? static_cast<double>(candidates) * 1e3 / wall_ms
+                         : 0.0;
+  }
+  double hit_rate() const {
+    return candidates > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(candidates)
+               : 0.0;
+  }
+};
+
+ThroughputSample sample_of(const dse::ExplorationResult& result,
+                           double wall_ms) {
+  ThroughputSample s;
+  s.candidates = result.candidates_evaluated;
+  s.cache_hits = result.cache_hits;
+  s.wall_ms = wall_ms;
+  s.cost = result.cost;
+  return s;
+}
+
+void json_sample(std::FILE* f, const char* key, const ThroughputSample& s,
+                 bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"candidates\": %llu, \"wall_ms\": %.3f, "
+               "\"candidates_per_sec\": %.1f, \"cache_hits\": %llu, "
+               "\"cache_hit_rate\": %.4f, \"cost\": %.6f}%s\n",
+               key, static_cast<unsigned long long>(s.candidates), s.wall_ms,
+               s.per_second(), static_cast<unsigned long long>(s.cache_hits),
+               s.hit_rate(), s.cost, trailing_comma ? "," : "");
+}
+
+/// E5b: serial always-reverify baseline (cache off, threads 0 — the legacy
+/// evaluation path) vs. the parallel memoized path, on the largest E5 case.
+void throughput_experiment() {
+  constexpr std::size_t kApps = 20;
+  constexpr std::size_t kEcus = 8;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPopulation = 24;
+  constexpr std::size_t kGenerations = 150;
+  constexpr std::uint64_t kAnnealIters = 12'000;
+  constexpr std::size_t kChains = 8;
+  constexpr std::uint64_t kSeed = 7;
+
+  bench::banner("E5b", "parallel + memoized DSE throughput");
+  bench::Table table({"strategy", "config", "candidates", "cache_hit_rate",
+                      "wall_ms", "cand_per_s", "cost"});
+
+  auto sys = make_system(kApps, kEcus, 42 + kApps);
+
+  ThroughputSample genetic_serial, genetic_parallel;
+  {
+    dse::Explorer explorer(sys.model);
+    explorer.set_cache_enabled(false);
+    bench::Stopwatch stopwatch;
+    const auto result =
+        explorer.genetic(kPopulation, kGenerations, kSeed, 0);
+    genetic_serial = sample_of(result, stopwatch.elapsed_ms());
+  }
+  {
+    dse::Explorer explorer(sys.model);
+    bench::Stopwatch stopwatch;
+    const auto result =
+        explorer.genetic(kPopulation, kGenerations, kSeed, kThreads);
+    genetic_parallel = sample_of(result, stopwatch.elapsed_ms());
+  }
+
+  ThroughputSample anneal_serial, anneal_parallel;
+  {
+    dse::Explorer explorer(sys.model);
+    explorer.set_cache_enabled(false);
+    bench::Stopwatch stopwatch;
+    const auto result = explorer.simulated_annealing(kAnnealIters, kSeed, 1, 0);
+    anneal_serial = sample_of(result, stopwatch.elapsed_ms());
+  }
+  {
+    dse::Explorer explorer(sys.model);
+    bench::Stopwatch stopwatch;
+    const auto result =
+        explorer.simulated_annealing(kAnnealIters, kSeed, kChains, kThreads);
+    anneal_parallel = sample_of(result, stopwatch.elapsed_ms());
+  }
+
+  const auto row = [&](const char* strategy, const char* config,
+                       const ThroughputSample& s) {
+    table.row({strategy, config, bench::fmt(s.candidates),
+               bench::fmt(s.hit_rate(), 3), bench::fmt(s.wall_ms, 1),
+               bench::fmt(s.per_second(), 0), bench::fmt(s.cost, 1)});
+  };
+  row("genetic", "serial,nocache", genetic_serial);
+  row("genetic", "threads=8,cache", genetic_parallel);
+  row("annealing", "serial,nocache,chains=1", anneal_serial);
+  row("annealing", "threads=8,cache,chains=8", anneal_parallel);
+
+  const double genetic_speedup =
+      genetic_serial.per_second() > 0
+          ? genetic_parallel.per_second() / genetic_serial.per_second()
+          : 0.0;
+  const double anneal_speedup =
+      anneal_serial.per_second() > 0
+          ? anneal_parallel.per_second() / anneal_serial.per_second()
+          : 0.0;
+  std::printf("genetic speedup: %.2fx   annealing speedup: %.2fx\n",
+              genetic_speedup, anneal_speedup);
+
+  std::FILE* f = std::fopen("BENCH_dse.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_dse.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E5b_parallel_dse\",\n");
+  std::fprintf(f, "  \"apps\": %zu,\n  \"ecus\": %zu,\n", kApps, kEcus);
+  std::fprintf(f, "  \"threads\": %zu,\n", kThreads);
+  std::fprintf(f, "  \"host_threads\": %zu,\n",
+               dynaplat::concurrency::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"genetic\": {\n");
+  json_sample(f, "serial_baseline", genetic_serial, true);
+  json_sample(f, "parallel_memoized", genetic_parallel, true);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", genetic_speedup);
+  std::fprintf(f, "    \"deterministic\": %s\n",
+               genetic_serial.cost == genetic_parallel.cost ? "true"
+                                                            : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"annealing\": {\n");
+  json_sample(f, "serial_baseline", anneal_serial, true);
+  json_sample(f, "parallel_memoized", anneal_parallel, true);
+  std::fprintf(f, "    \"speedup\": %.3f\n", anneal_speedup);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_dse.json\n");
 }
 
 }  // namespace
@@ -104,5 +251,6 @@ int main() {
                  bench::fmt(stopwatch.elapsed_ms(), 1)});
     }
   }
+  throughput_experiment();
   return 0;
 }

@@ -1,0 +1,130 @@
+#include "concurrency/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+
+namespace dynaplat::concurrency {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: only exit once the queue is empty, so every
+      // submitted task runs even when the pool is destroyed right away.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+namespace {
+
+/// Shared claim/err/rendezvous state of one parallel_for call. Heap-held via
+/// shared_ptr so late worker wakeups never touch a dead frame.
+struct ParallelForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t active = 0;  ///< workers (incl. caller) still inside run()
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+void run_chunks(ParallelForState& state) {
+  for (;;) {
+    const std::size_t lo = state.next.fetch_add(state.grain);
+    if (lo >= state.end) return;
+    const std::size_t hi = std::min(lo + state.grain, state.end);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        (*state.body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (i < state.error_index) {
+          state.error_index = i;
+          state.error = std::current_exception();
+        }
+        // Stop claiming further chunks; in-flight chunks finish on their own.
+        state.next.store(state.end);
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  if (pool == nullptr || pool->size() == 0) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->next.store(begin);
+  state->end = end;
+  state->grain = grain;
+  state->body = &body;
+  state->active = pool->size() + 1;  // workers + calling thread
+
+  for (std::size_t w = 0; w < pool->size(); ++w) {
+    pool->post([state] {
+      run_chunks(*state);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->active == 0) state->done_cv.notify_all();
+    });
+  }
+
+  run_chunks(*state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (--state->active > 0) {
+    state->done_cv.wait(lock, [&] { return state->active == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace dynaplat::concurrency

@@ -1,0 +1,81 @@
+// Deterministic-by-construction thread pool for CPU-bound analysis work
+// (DSE fitness evaluation, Monte-Carlo security analysis, XiL campaigns).
+//
+// Design rules (DESIGN.md "DSE performance & threading model"):
+//  * No work stealing and no completion-order-dependent results: helpers
+//    like parallel_for hand every index a dedicated result slot, so callers
+//    merge in index order and the outcome is independent of thread count
+//    and scheduling.
+//  * Randomized workers never share a generator: derive one stream per task
+//    index via sim::Random::stream(seed, index).
+//  * The pool is a dumb executor; determinism is owned by the call sites.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dynaplat::concurrency {
+
+/// Fixed-size FIFO thread pool. Tasks start in submission order; the
+/// destructor drains the queue (every submitted task runs) before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task. Exceptions escaping `task` terminate
+  /// the process (as with std::thread); use submit() to transport them.
+  void post(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result; an exception thrown
+  /// by `fn` is rethrown from future::get().
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Threads the host exposes to this process (>= 1).
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for every i in [begin, end) on the pool's workers plus the
+/// calling thread, blocking until all iterations finished. Indices are
+/// claimed in contiguous chunks of `grain`; callers must write results into
+/// index-addressed slots so the outcome is schedule-independent.
+///
+/// pool == nullptr (or an empty pool) degrades to an inline serial loop —
+/// the zero-thread configuration exercises the exact same code path.
+///
+/// If one or more iterations throw, the exception of the lowest-index
+/// failing iteration is rethrown on the calling thread after all in-flight
+/// work drained; remaining unclaimed iterations are skipped.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace dynaplat::concurrency

@@ -51,6 +51,14 @@ struct Assignment {
   std::vector<std::string> apps_on(const std::string& ecu) const;
 };
 
+/// Thread-safety contract: a configured Verifier is immutable — verify()
+/// and verify_assignment() are const, keep no per-call state on the object
+/// and may be invoked concurrently from any number of threads (the DSE
+/// explorer's parallel fitness workers share one instance). The one
+/// configuration mutator, set_schedulability_hook(), must happen-before the
+/// first concurrent use, and the installed hook itself must be reentrant
+/// (dse::make_verifier_hook()'s is: it captures nothing and only touches
+/// locals).
 class Verifier {
  public:
   /// Optional exact schedulability test (provided by dse::); receives the

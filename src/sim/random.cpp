@@ -86,4 +86,13 @@ bool Random::chance(double p) { return uniform01() < p; }
 
 Random Random::fork() { return Random(next_u64()); }
 
+Random Random::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Golden-ratio stride walks the splitmix64 counter to a per-stream
+  // position, one scramble decorrelates adjacent ids, and the Random
+  // constructor runs its own splitmix chain on top — so stream(s, 0)
+  // also differs from Random(s) and from fork()s of it.
+  std::uint64_t chain = seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+  return Random(splitmix64(chain));
+}
+
 }  // namespace dynaplat::sim

@@ -46,6 +46,13 @@ class Random {
   /// one for any realistic draw count (distinct splitmix64 seed chain).
   Random fork();
 
+  /// Derives the `stream_id`-th independent generator of a seed family
+  /// without consuming state anywhere: stream(s, i) is a pure function of
+  /// (s, i). Parallel workers each take their own stream so results stay
+  /// reproducible regardless of thread count or scheduling (the seed-
+  /// splitting scheme of the concurrency subsystem, see DESIGN.md).
+  static Random stream(std::uint64_t seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t state_[4];
   bool has_spare_normal_ = false;
