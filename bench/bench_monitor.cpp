@@ -9,7 +9,13 @@
 // Expected shape: overhead scales inversely with sampling period and stays
 // well under 1%; detection latency ~ sampling period; with monitoring off
 // the fault is never seen (the certification data set stays empty).
+//
+// Machine-readable results go to BENCH_monitor.json (one sample per
+// sampling period plus the off baseline), following the BENCH_dse.json
+// pattern so successive PRs accumulate a trajectory.
+#include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "monitor/runtime_monitor.hpp"
@@ -112,11 +118,19 @@ int main() {
   bench::banner("E10", "runtime monitoring overhead & detection (Sec. 3.4)");
   bench::Table table({"monitoring", "sampling_ms", "cpu_overhead_pct",
                       "detection_ms", "faults_recorded"});
+
+  struct Sample {
+    bool monitoring = false;
+    double sampling_ms = 0.0;
+    Outcome outcome;
+  };
+  std::vector<Sample> samples;
   {
     const Outcome off = run(false, 10 * sim::kMillisecond);
     table.row({"off", "-", bench::fmt(off.overhead_percent, 3),
                off.detection_ms < 0 ? "never" : bench::fmt(off.detection_ms, 1),
                bench::fmt(off.faults)});
+    samples.push_back({false, 0.0, off});
   }
   for (sim::Duration period : {sim::kMillisecond, 5 * sim::kMillisecond,
                                10 * sim::kMillisecond,
@@ -126,6 +140,32 @@ int main() {
                bench::fmt(on.overhead_percent, 3),
                on.detection_ms < 0 ? "never" : bench::fmt(on.detection_ms, 1),
                bench::fmt(on.faults)});
+    samples.push_back({true, sim::to_ms(period), on});
   }
+
+  std::FILE* f = std::fopen("BENCH_monitor.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_monitor.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E10_runtime_monitoring\",\n");
+  std::fprintf(f, "  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"monitoring\": %s,\n",
+                 s.monitoring ? "true" : "false");
+    std::fprintf(f, "      \"sampling_period_ms\": %.3f,\n", s.sampling_ms);
+    std::fprintf(f, "      \"cpu_overhead_percent\": %.4f,\n",
+                 s.outcome.overhead_percent);
+    std::fprintf(f, "      \"detection_latency_ms\": %.3f,\n",
+                 s.outcome.detection_ms);
+    std::fprintf(f, "      \"faults_recorded\": %zu\n", s.outcome.faults);
+    std::fprintf(f, "    }%s\n", i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_monitor.json\n");
   return 0;
 }

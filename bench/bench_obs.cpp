@@ -1,0 +1,135 @@
+// Observability record cost (ISSUE 2 acceptance bench).
+//
+// Measures the per-event cost of the trace v2 hot path over a 10^6-event
+// run in three configurations: tracing disabled (the always-on price every
+// production path pays), enabled with an unbounded buffer, and enabled with
+// a 65536-event ring (bounded memory, oldest evicted). Also measures the
+// metrics side: counter add and histogram observe. Results go to stdout and
+// BENCH_obs.json.
+//
+// Expected shape: the disabled path is a single load+branch — low
+// single-digit ns/event; the ring keeps memory flat (retained == capacity)
+// while still counting every record.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace dynaplat;
+
+namespace {
+
+constexpr std::uint64_t kEvents = 1'000'000;
+constexpr std::size_t kRingCapacity = 65'536;
+
+struct Sample {
+  const char* config = "";
+  double ns_per_event = 0.0;
+  std::uint64_t recorded = 0;
+  std::size_t retained = 0;
+  std::uint64_t dropped = 0;
+  std::size_t approx_bytes = 0;
+};
+
+Sample run_trace(const char* config, obs::TraceBufferConfig buffer_config,
+                 bool enabled) {
+  obs::TraceBuffer buffer(buffer_config);
+  buffer.set_enabled(enabled);
+  const auto source = buffer.intern("ecu0/brake_ctl");
+  const auto name = buffer.intern("run");
+  const bench::Stopwatch watch;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    buffer.record(static_cast<sim::Time>(i), obs::Category::kTask, source,
+                  name, static_cast<std::int64_t>(i));
+  }
+  Sample sample;
+  sample.config = config;
+  sample.ns_per_event = watch.elapsed_ms() * 1e6 / static_cast<double>(kEvents);
+  sample.recorded = buffer.recorded();
+  sample.retained = buffer.size();
+  sample.dropped = buffer.dropped();
+  sample.approx_bytes = buffer.size() * sizeof(obs::Event);
+  return sample;
+}
+
+Sample run_counter() {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench.events");
+  const bench::Stopwatch watch;
+  for (std::uint64_t i = 0; i < kEvents; ++i) counter.add();
+  Sample sample;
+  sample.config = "counter_add";
+  sample.ns_per_event = watch.elapsed_ms() * 1e6 / static_cast<double>(kEvents);
+  sample.recorded = counter.value();
+  return sample;
+}
+
+Sample run_histogram() {
+  obs::MetricsRegistry registry;
+  auto& histogram = registry.histogram("bench.latency_ns");
+  const bench::Stopwatch watch;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    histogram.observe(static_cast<double>(i % 10'000'000));
+  }
+  Sample sample;
+  sample.config = "histogram_observe";
+  sample.ns_per_event = watch.elapsed_ms() * 1e6 / static_cast<double>(kEvents);
+  sample.recorded = histogram.total_count();
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("OBS", "trace/metrics record cost over 1M events");
+  std::vector<Sample> samples;
+  samples.push_back(
+      run_trace("trace_disabled", obs::TraceBufferConfig{}, false));
+  samples.push_back(
+      run_trace("trace_unbounded", obs::TraceBufferConfig{}, true));
+  samples.push_back(run_trace(
+      "trace_ring_65536", obs::TraceBufferConfig{.capacity = kRingCapacity},
+      true));
+  samples.push_back(run_counter());
+  samples.push_back(run_histogram());
+
+  bench::Table table(
+      {"config", "ns_per_event", "recorded", "retained", "dropped",
+       "approx_bytes"});
+  for (const Sample& s : samples) {
+    table.row({s.config, bench::fmt(s.ns_per_event, 2),
+               bench::fmt(s.recorded), bench::fmt(s.retained),
+               bench::fmt(s.dropped), bench::fmt(s.approx_bytes)});
+  }
+
+  std::FILE* f = std::fopen("BENCH_obs.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_obs.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"obs_record_cost\",\n");
+  std::fprintf(f, "  \"events\": %llu,\n",
+               static_cast<unsigned long long>(kEvents));
+  std::fprintf(f, "  \"ring_capacity\": %zu,\n", kRingCapacity);
+  std::fprintf(f, "  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"config\": \"%s\",\n", s.config);
+    std::fprintf(f, "      \"ns_per_event\": %.3f,\n", s.ns_per_event);
+    std::fprintf(f, "      \"recorded\": %llu,\n",
+                 static_cast<unsigned long long>(s.recorded));
+    std::fprintf(f, "      \"retained\": %zu,\n", s.retained);
+    std::fprintf(f, "      \"dropped\": %llu,\n",
+                 static_cast<unsigned long long>(s.dropped));
+    std::fprintf(f, "      \"approx_bytes\": %zu\n", s.approx_bytes);
+    std::fprintf(f, "    }%s\n", i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_obs.json\n");
+  return 0;
+}

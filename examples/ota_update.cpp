@@ -12,6 +12,7 @@
 #include "middleware/payload.hpp"
 #include "model/parser.hpp"
 #include "net/ethernet.hpp"
+#include "obs/export.hpp"
 #include "platform/platform.hpp"
 #include "platform/update.hpp"
 #include "security/package.hpp"
@@ -67,13 +68,14 @@ int main() {
 
   model::ParsedSystem parsed = model::parse_system(kModel);
   sim::Simulator simulator;
+  sim::Trace trace;  // vehicle-wide observability sink
   net::EthernetSwitch backbone(simulator, "backbone", {});
   os::EcuConfig central_config{
       .name = "Central",
       .cpu = {.mips = 5000, .crypto_accelerator = true}};
   os::EcuConfig door_config{.name = "Door", .cpu = {.mips = 50}};
-  os::Ecu central(simulator, central_config, &backbone, 1);
-  os::Ecu door(simulator, door_config, &backbone, 2);
+  os::Ecu central(simulator, central_config, &backbone, 1, &trace);
+  os::Ecu door(simulator, door_config, &backbone, 2, &trace);
 
   platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
   dp.add_node(central);
@@ -177,5 +179,14 @@ int main() {
       "\nThe staged protocol hides the update behind the running version; "
       "the\nstop-restart baseline exposes verification + restart time as "
       "outage.\n");
+
+  // Export the whole run as a Chrome trace-event file: open ota_trace.json
+  // in Perfetto (ui.perfetto.dev) or chrome://tracing to see task
+  // executions, frame transmissions and the update phases on a timeline.
+  if (obs::write_chrome_trace_file(trace.buffer(), "ota_trace.json")) {
+    std::printf("\nwrote ota_trace.json (%zu trace events, load it in "
+                "Perfetto)\n",
+                trace.buffer().size());
+  }
   return 0;
 }

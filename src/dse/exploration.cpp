@@ -1,6 +1,7 @@
 #include "dse/exploration.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -633,6 +634,41 @@ class Explorer::SoftCostState {
   std::vector<char> touched_;  ///< scratch ECU marks for move()
 };
 
+namespace {
+
+/// Wall-clock stopwatch for exploration throughput gauges.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void Explorer::publish_metrics(const ExplorationResult& result,
+                               double wall_seconds) const {
+  if (metrics_ == nullptr) return;
+  const std::string prefix = "dse." + result.strategy + ".";
+  metrics_->counter(prefix + "candidates").add(result.candidates_evaluated);
+  metrics_->counter(prefix + "cache_hits").add(result.cache_hits);
+  if (wall_seconds > 0.0) {
+    metrics_->gauge(prefix + "candidates_per_sec")
+        .set(static_cast<double>(result.candidates_evaluated) / wall_seconds);
+  }
+  if (result.candidates_evaluated > 0) {
+    metrics_->gauge(prefix + "cache_hit_rate")
+        .set(static_cast<double>(result.cache_hits) /
+             static_cast<double>(result.candidates_evaluated));
+  }
+}
+
 // --- Strategies --------------------------------------------------------------
 
 ExplorationResult Explorer::exhaustive(std::uint64_t max_candidates,
@@ -640,6 +676,7 @@ ExplorationResult Explorer::exhaustive(std::uint64_t max_candidates,
   ExplorationResult result;
   result.strategy = "exhaustive";
   if (apps_.empty() || ecus_.empty()) return result;
+  const WallTimer wall;
 
   const std::uint64_t necus = ecus_.size();
   const std::uint64_t cap = std::max<std::uint64_t>(1, max_candidates);
@@ -706,6 +743,7 @@ ExplorationResult Explorer::exhaustive(std::uint64_t max_candidates,
     result.cost = winner->cost;
     result.feasible = winner->cost < weights_.infeasible_penalty;
   }
+  publish_metrics(result, wall.seconds());
   return result;
 }
 
@@ -713,6 +751,7 @@ ExplorationResult Explorer::greedy() {
   ExplorationResult result;
   result.strategy = "greedy";
   if (apps_.empty() || ecus_.empty()) return result;
+  const WallTimer wall;
 
   // Apps by decreasing worst-case utilization (on the slowest ECU).
   std::uint64_t min_mips = ecus_[0]->mips;
@@ -749,6 +788,7 @@ ExplorationResult Explorer::greedy() {
   result.assignment = decode(genome);
   result.cost = cost(result.assignment);
   result.feasible = result.cost < weights_.infeasible_penalty;
+  publish_metrics(result, wall.seconds());
   return result;
 }
 
@@ -759,6 +799,7 @@ ExplorationResult Explorer::simulated_annealing(std::uint64_t iterations,
   ExplorationResult result = greedy();
   result.strategy = "annealing";
   if (apps_.empty() || ecus_.empty()) return result;
+  const WallTimer wall;
   chains = std::max<std::size_t>(1, chains);
 
   // Recover the genome from the greedy assignment.
@@ -855,6 +896,7 @@ ExplorationResult Explorer::simulated_annealing(std::uint64_t iterations,
   result.assignment = decode(best);
   result.cost = best_cost;
   result.feasible = best_cost < weights_.infeasible_penalty;
+  publish_metrics(result, wall.seconds());
   return result;
 }
 
@@ -865,6 +907,7 @@ ExplorationResult Explorer::genetic(std::size_t population,
   ExplorationResult result;
   result.strategy = "genetic";
   if (apps_.empty() || ecus_.empty()) return result;
+  const WallTimer wall;
 
   std::optional<concurrency::ThreadPool> pool;
   if (threads > 0) pool.emplace(threads);
@@ -948,6 +991,7 @@ ExplorationResult Explorer::genetic(std::size_t population,
   result.assignment = decode(best);
   result.cost = best_cost;
   result.feasible = best_cost < weights_.infeasible_penalty;
+  publish_metrics(result, wall.seconds());
   return result;
 }
 

@@ -35,6 +35,7 @@
 
 #include "model/system_model.hpp"
 #include "model/verifier.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 
 namespace dynaplat::dse {
@@ -100,6 +101,12 @@ class Explorer {
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   void clear_cache();
   std::size_t cache_size() const;
+
+  /// Publishes exploration throughput into a metrics registry: per run,
+  /// counters "dse.<strategy>.candidates" / "dse.<strategy>.cache_hits" and
+  /// gauges "dse.<strategy>.candidates_per_sec" /
+  /// "dse.<strategy>.cache_hit_rate". Null (the default) disables publication.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
   /// White-box access for the fast-path cross-validation tests
@@ -238,6 +245,9 @@ class Explorer {
   std::vector<std::string> hosts_for(std::size_t app_index,
                                      std::size_t ecu_index) const;
 
+  void publish_metrics(const ExplorationResult& result,
+                       double wall_seconds) const;
+
   const model::SystemModel& model_;
   CostWeights weights_;
   model::Verifier verifier_;
@@ -254,6 +264,7 @@ class Explorer {
   std::vector<std::vector<std::size_t>> app_interfaces_;
 
   bool cache_enabled_ = true;
+  obs::MetricsRegistry* metrics_ = nullptr;
   mutable std::array<CacheShard, kCacheShards> cache_;
   mutable std::array<SchedShard, kCacheShards> sched_cache_;
 };

@@ -18,6 +18,16 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
       [this](net::NodeId src, std::vector<std::uint8_t> message) {
         on_message(src, std::move(message));
       });
+  if (ecu_.trace() != nullptr) {
+    auto& metrics = ecu_.trace()->metrics();
+    const std::string prefix = "mw." + ecu_.name() + ".";
+    offers_counter_ = &metrics.counter(prefix + "offers");
+    subscribes_counter_ = &metrics.counter(prefix + "subscribes");
+    calls_counter_ = &metrics.counter(prefix + "calls");
+    failed_calls_counter_ = &metrics.counter(prefix + "failed_calls");
+    call_latency_ns_ = &metrics.histogram(prefix + "call_latency_ns");
+    bind_latency_ns_ = &metrics.histogram(prefix + "bind_latency_ns");
+  }
 }
 
 std::uint32_t ServiceRuntime::flow_for(ServiceId service,
@@ -55,6 +65,7 @@ void ServiceRuntime::send_message(net::NodeId dst, MessageHeader header,
 // --- Discovery ----------------------------------------------------------------
 
 void ServiceRuntime::offer(ServiceId service, std::uint32_t version) {
+  if (offers_counter_ != nullptr) offers_counter_->add();
   offered_[service] = version;
   providers_[service] = ecu_.node_id();
   provider_versions_[service] = version;
@@ -107,7 +118,17 @@ void ServiceRuntime::when_provider_known(ServiceId service,
     work();
     return;
   }
-  parked_[service].push_back(std::move(work));
+  // Parked work measures binding latency: park time -> execution (Offer
+  // arrival or Find timeout).
+  const sim::Time parked_at = ecu_.simulator().now();
+  parked_[service].push_back(
+      [this, parked_at, work = std::move(work)]() mutable {
+        if (bind_latency_ns_ != nullptr) {
+          bind_latency_ns_->observe(
+              static_cast<double>(ecu_.simulator().now() - parked_at));
+        }
+        work();
+      });
   if (find_timeouts_.count(service)) return;  // Find already outstanding
   MessageHeader header;
   header.type = MsgType::kFind;
@@ -145,6 +166,7 @@ void ServiceRuntime::flush_parked(ServiceId service) {
 
 void ServiceRuntime::subscribe(ServiceId service, ElementId event,
                                EventHandler handler) {
+  if (subscribes_counter_ != nullptr) subscribes_counter_->add();
   auto& sub = subscriptions_[{service, event}];
   sub.event_handler = std::move(handler);
   when_provider_known(service, [this, service, event] {
@@ -219,13 +241,25 @@ void ServiceRuntime::call(ServiceId service, ElementId method,
                           std::vector<std::uint8_t> request,
                           ResponseHandler on_response,
                           net::Priority priority) {
+  if (calls_counter_ != nullptr) calls_counter_->add();
+  if (call_latency_ns_ != nullptr) {
+    // Wrap before binding so the latency sample covers discovery + charge +
+    // transport + provider execution, success or failure.
+    const sim::Time issued_at = ecu_.simulator().now();
+    on_response = [this, issued_at, inner = std::move(on_response)](
+                      bool ok, std::vector<std::uint8_t> response) {
+      call_latency_ns_->observe(
+          static_cast<double>(ecu_.simulator().now() - issued_at));
+      if (inner) inner(ok, std::move(response));
+    };
+  }
   when_provider_known(
       service,
       [this, service, method, request = std::move(request),
        on_response = std::move(on_response), priority]() mutable {
         const auto provider = provider_of(service);
         if (!provider) {
-          ++failed_calls_;
+          note_failed_call();
           if (on_response) on_response(false, {});
           return;
         }
@@ -234,7 +268,7 @@ void ServiceRuntime::call(ServiceId service, ElementId method,
         if (*provider == ecu_.node_id()) {
           auto it = methods_.find({service, method});
           if (it == methods_.end()) {
-            ++failed_calls_;
+            note_failed_call();
             if (on_response) on_response(false, {});
             return;
           }
@@ -243,7 +277,7 @@ void ServiceRuntime::call(ServiceId service, ElementId method,
                   on_response = std::move(on_response)]() mutable {
                    auto handler = methods_.find({service, method});
                    if (handler == methods_.end()) {
-                     ++failed_calls_;
+                     note_failed_call();
                      if (on_response) on_response(false, {});
                      return;
                    }
@@ -267,7 +301,7 @@ void ServiceRuntime::call(ServiceId service, ElementId method,
               if (it == pending_calls_.end()) return;
               auto handler = std::move(it->second.handler);
               pending_calls_.erase(it);
-              ++failed_calls_;
+              note_failed_call();
               if (handler) handler(false, {});
             });
         pending_calls_.emplace(session, std::move(pending));
@@ -341,6 +375,7 @@ void ServiceRuntime::subscribe_field(ServiceId service, ElementId field,
 
 void ServiceRuntime::subscribe_stream(ServiceId service, ElementId stream,
                                       StreamHandler handler) {
+  if (subscribes_counter_ != nullptr) subscribes_counter_->add();
   auto& sub = subscriptions_[{service, stream}];
   sub.stream_handler = std::move(handler);
   sub.next_sequence = 0;
@@ -401,10 +436,10 @@ void ServiceRuntime::on_message(net::NodeId /*src*/,
   }
   if (filter_ && !filter_(header, body)) {
     ++rejected_;
-    if (ecu_.trace() != nullptr) {
-      ecu_.trace()->record(ecu_.simulator().now(),
-                           sim::TraceCategory::kSecurity, ecu_.name(),
-                           "message_rejected", header.service);
+    sim::Trace* trace = ecu_.trace();
+    if (trace != nullptr && trace->enabled(sim::TraceCategory::kSecurity)) {
+      trace->record(ecu_.simulator().now(), sim::TraceCategory::kSecurity,
+                    ecu_.name(), "message_rejected", header.service);
     }
     return;
   }

@@ -32,6 +32,7 @@
 
 #include "middleware/message.hpp"
 #include "middleware/transport.hpp"
+#include "obs/metrics.hpp"
 #include "os/ecu.hpp"
 
 namespace dynaplat::middleware {
@@ -190,6 +191,10 @@ class ServiceRuntime {
   void when_provider_known(ServiceId service, std::function<void()> work);
   void flush_parked(ServiceId service);
   std::uint32_t flow_for(ServiceId service, ElementId element) const;
+  void note_failed_call() {
+    ++failed_calls_;
+    if (failed_calls_counter_ != nullptr) failed_calls_counter_->add();
+  }
 
   os::Ecu& ecu_;
   RuntimeConfig config_;
@@ -214,6 +219,15 @@ class ServiceRuntime {
   std::uint32_t next_session_ = 1;
   std::uint64_t rejected_ = 0;
   std::uint64_t failed_calls_ = 0;
+
+  // Cached instruments (registered under "mw.<ecu>.*" when the ECU carries
+  // a trace); null when observability is not wired up.
+  obs::Counter* offers_counter_ = nullptr;
+  obs::Counter* subscribes_counter_ = nullptr;
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* failed_calls_counter_ = nullptr;
+  obs::Histogram* call_latency_ns_ = nullptr;
+  obs::Histogram* bind_latency_ns_ = nullptr;
 };
 
 }  // namespace dynaplat::middleware

@@ -46,14 +46,19 @@ void RuntimeMonitor::raise(const std::string& subject, const std::string& kind,
   record.kind = kind;
   record.value = value;
   record.limit = limit;
-  if (ecu_.trace() != nullptr) {
-    const auto& all = ecu_.trace()->records();
-    const std::size_t take =
-        std::min(all.size(), config_.flight_recorder_depth);
-    record.context.assign(all.end() - static_cast<long>(take), all.end());
-    ecu_.trace()->record(record.at, sim::TraceCategory::kFault,
-                         ecu_.name() + "/" + subject, "monitor_" + kind,
-                         static_cast<std::int64_t>(value));
+  sim::Trace* trace = ecu_.trace();
+  if (trace != nullptr) {
+    // Flight recorder: materialize only the newest N events — with a
+    // ring-bounded trace this stays O(depth) regardless of run length.
+    record.context = trace->tail(config_.flight_recorder_depth);
+    if (trace->enabled(sim::TraceCategory::kFault)) {
+      trace->record(record.at, sim::TraceCategory::kFault,
+                    ecu_.name() + "/" + subject, "monitor_" + kind,
+                    static_cast<std::int64_t>(value));
+    }
+    trace->metrics()
+        .counter("monitor." + ecu_.name() + ".faults." + kind)
+        .add();
   }
   if (sink_) sink_(record);
   faults_.push_back(std::move(record));

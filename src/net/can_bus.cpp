@@ -63,8 +63,9 @@ void CanBus::try_start_transmission() {
   it->second.pop_front();
   if (it->second.empty()) pending_.erase(it);
   busy_ = true;
-  sim_.schedule_in(frame_duration(in_flight_.payload.size()),
-                   [this] { finish_transmission(); });
+  const sim::Duration on_wire = frame_duration(in_flight_.payload.size());
+  trace_tx_span(sim_.now(), sim_.now() + on_wire);
+  sim_.schedule_in(on_wire, [this] { finish_transmission(); });
 }
 
 void CanBus::finish_transmission() {

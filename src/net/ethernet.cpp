@@ -133,6 +133,15 @@ void EthernetSwitch::try_transmit(NodeId node) {
       Frame frame = std::move(queue.front());
       queue.pop_front();
       port.busy = true;
+      if (trace() != nullptr) {
+        if (port.trace_lane == 0) {
+          port.trace_lane =
+              trace_lane(name() + "/egress" + std::to_string(node));
+        }
+        trace_tx_span(*open, *open + tx, port.trace_lane);
+      } else {
+        trace_tx_span(*open, *open + tx);
+      }
       sim_.schedule_at(*open + tx + config_.propagation_delay,
                        [this, node, f = std::move(frame)]() mutable {
                          egress_[node].busy = false;

@@ -74,6 +74,7 @@ class EthernetSwitch final : public Medium {
     bool busy = false;
     GateControlList gcl;
     sim::EventId pending_kick;  // scheduled gate-open re-evaluation
+    std::uint32_t trace_lane = 0;  // interned "<switch>/egress<node>" id
   };
 
   void on_ingress_complete(Frame frame);

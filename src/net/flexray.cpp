@@ -55,9 +55,11 @@ void FlexRayBus::run_cycle() {
     if (it == static_pending_.end() || it->second.empty()) continue;
     Frame frame = std::move(it->second.front());
     it->second.pop_front();
-    const sim::Time slot_end =
+    const sim::Time slot_start =
         cycle_start +
-        static_cast<sim::Duration>(slot + 1) * config_.static_slot_duration;
+        static_cast<sim::Duration>(slot) * config_.static_slot_duration;
+    const sim::Time slot_end = slot_start + config_.static_slot_duration;
+    trace_tx_span(slot_start, slot_end);
     sim_.schedule_at(slot_end, [this, f = std::move(frame)]() mutable {
       deliver(std::move(f));
     });
@@ -83,6 +85,9 @@ void FlexRayBus::run_cycle() {
     const sim::Time done =
         dynamic_start + static_cast<sim::Duration>(minislot + slots_needed) *
                             config_.minislot_duration;
+    trace_tx_span(dynamic_start + static_cast<sim::Duration>(minislot) *
+                                      config_.minislot_duration,
+                  done);
     sim_.schedule_at(done, [this, f = std::move(frame)]() mutable {
       deliver(std::move(f));
     });

@@ -14,6 +14,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace dynaplat::net {
 
@@ -57,7 +58,45 @@ class Medium {
     fault_rng_ = sim::Random(seed);
   }
 
+  /// Attaches the observability sink: on-wire transmissions become kNetwork
+  /// spans on the bus lane, and delivered/dropped counters plus a
+  /// utilization gauge register under "net.<bus>.*". Ecu auto-wires this
+  /// when it shares a trace with its medium.
+  void set_trace(sim::Trace* trace) {
+    trace_ = trace;
+    if (trace_ == nullptr) return;
+    trace_source_ = trace_->buffer().intern(name_);
+    ev_tx_ = trace_->buffer().intern("tx");
+    auto& metrics = trace_->metrics();
+    delivered_counter_ = &metrics.counter("net." + name_ + ".frames_delivered");
+    dropped_counter_ = &metrics.counter("net." + name_ + ".frames_dropped");
+    utilization_gauge_ = &metrics.gauge("net." + name_ + ".utilization");
+  }
+  sim::Trace* trace() const { return trace_; }
+
  protected:
+  /// Records one on-wire transmission span [start, end] on `lane` (interned
+  /// source id; 0 means the bus's own lane) and rolls the utilization gauge
+  /// (cumulative busy time / elapsed time) forward. Span timestamps may lie
+  /// in the future — concrete media call this when they commit to a
+  /// transmission; the exporter orders events by timestamp.
+  void trace_tx_span(sim::Time start, sim::Time end, std::uint32_t lane = 0) {
+    if (end > start) busy_accum_ += end - start;
+    if (trace_ == nullptr) return;
+    if (utilization_gauge_ != nullptr && end > 0) {
+      utilization_gauge_->set(static_cast<double>(busy_accum_) /
+                              static_cast<double>(end));
+    }
+    if (!trace_->enabled(sim::TraceCategory::kNetwork)) return;
+    const std::uint32_t source = lane != 0 ? lane : trace_source_;
+    trace_->buffer().begin_span(start, sim::TraceCategory::kNetwork, source,
+                                ev_tx_);
+    trace_->buffer().end_span(end, sim::TraceCategory::kNetwork, source,
+                              ev_tx_);
+  }
+  std::uint32_t trace_lane(const std::string& name) {
+    return trace_ == nullptr ? 0 : trace_->buffer().intern(name);
+  }
   /// Notifies a concrete medium that a node joined (e.g. the Ethernet switch
   /// provisions an egress port so broadcast flooding reaches the node).
   virtual void on_attach(NodeId node) { (void)node; }
@@ -68,6 +107,7 @@ class Medium {
     latency_stats_.add(
         static_cast<double>(frame.delivered_at - frame.enqueued_at));
     ++frames_delivered_;
+    if (delivered_counter_ != nullptr) delivered_counter_->add();
     if (frame.dst == kBroadcast) {
       for (auto& [node, handler] : receivers_) {
         if (node != frame.src && handler) handler(frame);
@@ -78,7 +118,10 @@ class Medium {
     }
   }
 
-  void count_drop() { ++frames_dropped_; }
+  void count_drop() {
+    ++frames_dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
+  }
 
   /// Subclasses call this at the top of send(); true means the frame was
   /// consumed by fault injection.
@@ -100,6 +143,13 @@ class Medium {
   std::uint64_t frames_dropped_ = 0;
   double loss_rate_ = 0.0;
   sim::Random fault_rng_{99};
+  sim::Trace* trace_ = nullptr;
+  std::uint32_t trace_source_ = 0;  // interned bus lane
+  std::uint32_t ev_tx_ = 0;
+  sim::Duration busy_accum_ = 0;  // cumulative on-wire time, all lanes
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
 };
 
 }  // namespace dynaplat::net

@@ -1,0 +1,190 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dynaplat::obs {
+
+namespace {
+
+double to_us(sim::Time at) { return static_cast<double>(at) / 1000.0; }
+
+std::string fmt_us(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+struct OutEvent {
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  char phase = 'i';  // 'X', 'i', 'C'
+  int pid = 0;
+  int tid = 0;
+  std::uint32_t name = 0;
+  Category category = Category::kTask;
+  std::int64_t value = 0;
+};
+
+struct Lanes {
+  // pid/tid assignment in first-seen order, both 1-based (pid 0 is reserved
+  // by the trace-event format for the browser process).
+  std::map<std::string, int> pids;
+  std::vector<std::string> pid_names;
+  std::map<std::pair<int, std::string>, int> tids;
+  std::vector<std::pair<int, std::string>> tid_names;  // (pid, thread name)
+  std::vector<int> tids_per_pid;
+
+  std::pair<int, int> lane_for(const std::string& source) {
+    const std::size_t slash = source.find('/');
+    const std::string process =
+        slash == std::string::npos ? source : source.substr(0, slash);
+    auto pid_it = pids.find(process);
+    if (pid_it == pids.end()) {
+      pid_it = pids.emplace(process, static_cast<int>(pids.size()) + 1).first;
+      pid_names.push_back(process);
+      tids_per_pid.push_back(0);
+    }
+    const int pid = pid_it->second;
+    const auto key = std::make_pair(pid, source);
+    auto tid_it = tids.find(key);
+    if (tid_it == tids.end()) {
+      const int tid = ++tids_per_pid[static_cast<std::size_t>(pid) - 1];
+      tid_it = tids.emplace(key, tid).first;
+      tid_names.emplace_back(pid, source);
+    }
+    return {pid, tid_it->second};
+  }
+};
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceBuffer& buffer) {
+  std::vector<Event> events = buffer.snapshot();
+  // Instrumentation may record spans with explicit timestamps out of
+  // arrival order (e.g. a bus schedules begin+end together); sort by time,
+  // keeping arrival order for ties so begin precedes its own end.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+
+  Lanes lanes;
+  std::vector<OutEvent> out;
+  out.reserve(events.size());
+  // Open spans per (lane source, span name): innermost-first stack of begin
+  // events. Ends without a matching begin (the begin half was evicted from
+  // the ring) are dropped; so are begins that never close.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Event>> open;
+
+  for (const Event& event : events) {
+    const std::string& source = buffer.name_of(event.source);
+    const auto [pid, tid] = lanes.lane_for(source);
+    switch (event.type) {
+      case EventType::kBegin:
+        open[{event.source, event.name}].push_back(event);
+        break;
+      case EventType::kEnd: {
+        auto it = open.find({event.source, event.name});
+        if (it == open.end() || it->second.empty()) break;  // orphaned end
+        const Event begin = it->second.back();
+        it->second.pop_back();
+        OutEvent span;
+        span.phase = 'X';
+        span.ts_us = to_us(begin.at);
+        span.dur_us = to_us(event.at) - span.ts_us;
+        span.pid = pid;
+        span.tid = tid;
+        span.name = begin.name;
+        span.category = begin.category;
+        span.value = begin.value != 0 ? begin.value : event.value;
+        out.push_back(span);
+        break;
+      }
+      case EventType::kInstant:
+      case EventType::kCounter: {
+        OutEvent point;
+        point.phase = event.type == EventType::kCounter ? 'C' : 'i';
+        point.ts_us = to_us(event.at);
+        point.pid = pid;
+        point.tid = tid;
+        point.name = event.name;
+        point.category = event.category;
+        point.value = event.value;
+        out.push_back(point);
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const OutEvent& a, const OutEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string doc = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += line;
+  };
+
+  for (std::size_t i = 0; i < lanes.pid_names.size(); ++i) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(i + 1) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         json::escape(lanes.pid_names[i]) + "\"}}");
+  }
+  for (const auto& [pid, thread] : lanes.tid_names) {
+    const int tid = lanes.tids.at({pid, thread});
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" + json::escape(thread) + "\"}}");
+  }
+
+  for (const OutEvent& event : out) {
+    std::string line = "{\"name\":\"" +
+                       json::escape(buffer.name_of(event.name)) +
+                       "\",\"cat\":\"" +
+                       category_name(event.category) + "\",\"ph\":\"";
+    line += event.phase;
+    line += "\",\"ts\":" + fmt_us(event.ts_us);
+    if (event.phase == 'X') {
+      line += ",\"dur\":" + fmt_us(event.dur_us);
+    }
+    line += ",\"pid\":" + std::to_string(event.pid) +
+            ",\"tid\":" + std::to_string(event.tid);
+    if (event.phase == 'i') {
+      line += ",\"s\":\"t\"";
+    }
+    if (event.phase == 'C') {
+      line += ",\"args\":{\"" + json::escape(buffer.name_of(event.name)) +
+              "\":" + std::to_string(event.value) + "}";
+    } else {
+      line += ",\"args\":{\"value\":" + std::to_string(event.value) + "}";
+    }
+    line += "}";
+    emit(line);
+  }
+
+  doc += first ? "" : "\n";
+  doc += "],\"displayTimeUnit\":\"ms\"}\n";
+  return doc;
+}
+
+bool write_chrome_trace_file(const TraceBuffer& buffer,
+                             const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_chrome_trace_json(buffer);
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace dynaplat::obs

@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto / chrome://tracing).
+//
+// Lane mapping: every event's interned source string names its timeline
+// lane. The text before the first '/' becomes the *process* (an ECU or a
+// bus), the full source string the *thread* inside it — so "EcuA/core0"
+// tasks, "EcuA/update" phases and "can0" frame transmissions each get their
+// own swimlane grouped under the owning hardware element.
+//
+// Emission: matched kBegin/kEnd pairs (LIFO per lane+name) become complete
+// "X" duration events; kInstant becomes "i"; kCounter becomes "C". Span
+// halves orphaned by ring-buffer eviction are dropped rather than emitted
+// unbalanced.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dynaplat::obs {
+
+/// Renders the buffer as a Chrome trace-event JSON document. Timestamps are
+/// exported in microseconds (the trace-event unit), preserving the
+/// simulator's nanosecond resolution as fractions.
+std::string to_chrome_trace_json(const TraceBuffer& buffer);
+
+/// Writes to_chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace_file(const TraceBuffer& buffer,
+                             const std::string& path);
+
+}  // namespace dynaplat::obs

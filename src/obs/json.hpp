@@ -1,0 +1,52 @@
+// Minimal JSON support for the observability layer: an escaper for the
+// emitters (metrics snapshot, Chrome trace export) and a small recursive-
+// descent parser used by tests and tools to round-trip those documents.
+// Deliberately not a general-purpose library: no streaming, no \u surrogate
+// pairs beyond pass-through, numbers parse as double.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaplat::obs::json {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string escape(std::string_view s);
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  bool has(const std::string& key) const {
+    return is_object() && object.count(key) > 0;
+  }
+  /// Member access; returns a shared null value for missing keys or
+  /// non-objects so chained lookups degrade gracefully.
+  const Value& at(const std::string& key) const;
+  const Value& operator[](std::size_t i) const;
+  std::size_t size() const {
+    return is_array() ? array.size() : is_object() ? object.size() : 0;
+  }
+};
+
+/// Parses `text` into `out`. Returns false (with a short message in `error`
+/// when provided) on malformed input or trailing garbage.
+bool parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+}  // namespace dynaplat::obs::json

@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace dynaplat::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+double Histogram::upper_bound(std::size_t i) const {
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> MetricsRegistry::latency_buckets_ns() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return *it->second;
+  counters_.emplace_back(key);
+  counter_index_.emplace(std::move(key), &counters_.back().instrument);
+  return counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return *it->second;
+  gauges_.emplace_back(key);
+  gauge_index_.emplace(std::move(key), &gauges_.back().instrument);
+  return gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return *it->second;
+  histograms_.emplace_back(key, std::move(upper_bounds));
+  histogram_index_.emplace(std::move(key), &histograms_.back().instrument);
+  return histograms_.back().instrument;
+}
+
+std::size_t MetricsRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size();
+}
+
+std::size_t MetricsRegistry::gauge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.size();
+}
+
+std::size_t MetricsRegistry::histogram_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.size();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+
+  auto sorted_names = [](const auto& family) {
+    std::vector<const std::string*> names;
+    names.reserve(family.size());
+    for (const auto& entry : family) names.push_back(&entry.name);
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    return names;
+  };
+
+  bool first = true;
+  for (const std::string* name : sorted_names(counters_)) {
+    const Counter* c = counter_index_.at(*name);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(*name) +
+           "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const std::string* name : sorted_names(gauges_)) {
+    const Gauge* g = gauge_index_.at(*name);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(*name) + "\": " + fmt_double(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const std::string* name : sorted_names(histograms_)) {
+    const Histogram* h = histogram_index_.at(*name);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(*name) + "\": {\"count\": " +
+           std::to_string(h->total_count()) +
+           ", \"sum\": " + fmt_double(h->sum());
+    if (h->total_count() > 0) {
+      out += ", \"min\": " + fmt_double(h->min()) +
+             ", \"max\": " + fmt_double(h->max());
+    }
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      if (i != 0) out += ", ";
+      const double le = h->upper_bound(i);
+      out += "{\"le\": ";
+      out += std::isfinite(le) ? fmt_double(le) : std::string("\"inf\"");
+      out += ", \"count\": " + std::to_string(h->count_at(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dynaplat::obs

@@ -37,6 +37,11 @@ Ecu::Ecu(sim::Simulator& simulator, EcuConfig config, net::Medium* medium,
     medium_->attach(node_, [this](const net::Frame& frame) {
       if (!failed_ && receive_handler_) receive_handler_(frame);
     });
+    // First traced ECU on a bus wires the bus into the same observability
+    // sink, so frame spans and bus counters land next to the task spans.
+    if (trace_ != nullptr && medium_->trace() == nullptr) {
+      medium_->set_trace(trace_);
+    }
   }
 }
 

@@ -46,14 +46,14 @@ AccessResult MemoryManager::access(ProcessId accessor, ProcessId owner) {
   }
   if (has_mmu_) {
     ++faults_;
-    if (trace_ != nullptr) {
+    if (trace_ != nullptr && trace_->enabled(sim::TraceCategory::kFault)) {
       trace_->record(0, sim::TraceCategory::kFault, ecu_name_ + "/mmu",
                      "memory_fault", static_cast<std::int64_t>(accessor));
     }
     return AccessResult::kFaulted;
   }
   ++corruptions_;
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled(sim::TraceCategory::kFault)) {
     trace_->record(0, sim::TraceCategory::kFault, ecu_name_ + "/memory",
                    "silent_corruption", static_cast<std::int64_t>(accessor));
   }

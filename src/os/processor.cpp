@@ -20,15 +20,23 @@ Processor::Processor(sim::Simulator& simulator, std::string name,
       // proportionally more.
       context_switch_cost_(cpu.duration_for(1000)) {
   assert(scheduler_ != nullptr);
+  if (trace_ != nullptr) {
+    auto& buffer = trace_->buffer();
+    ev_release_ = buffer.intern("release");
+    ev_run_ = buffer.intern("run");
+    ev_complete_ = buffer.intern("complete");
+    ev_deadline_miss_ = buffer.intern("deadline_miss");
+    ev_preempt_ = buffer.intern("preempt");
+  }
 }
 
 Processor::~Processor() { halt(); }
 
-void Processor::trace_event(const std::string& task, const char* event,
-                            std::int64_t value) {
+void Processor::trace_event(std::uint32_t source, std::uint32_t name,
+                            std::int64_t value, obs::EventType type) {
   if (trace_ != nullptr) {
-    trace_->record(sim_.now(), sim::TraceCategory::kTask, name_ + "/" + task,
-                   event, value);
+    trace_->buffer().record(sim_.now(), sim::TraceCategory::kTask, source,
+                            name, value, type);
   }
 }
 
@@ -37,6 +45,12 @@ TaskId Processor::add_task(TaskConfig config, JobBody body) {
   TaskState state;
   state.config = std::move(config);
   state.body = std::move(body);
+  // Lane id interned once per task registration; per-job records then avoid
+  // all string work. Skipped while task tracing is masked off.
+  if (trace_ != nullptr && trace_->enabled(sim::TraceCategory::kTask)) {
+    state.trace_source =
+        trace_->buffer().intern(name_ + "/" + state.config.name);
+  }
   tasks_.emplace(id, std::move(state));
   if (started_ && !halted_ && tasks_[id].config.period > 0) {
     auto& ts = tasks_[id];
@@ -61,6 +75,7 @@ void Processor::remove_task(TaskId id) {
                ready_.end());
   if (running_ && running_->job.task == id) {
     sim_.cancel(running_->completion);
+    trace_event(running_->trace_source, ev_run_, 0, obs::EventType::kEnd);
     running_.reset();
     tasks_.erase(it);
     reevaluate();
@@ -99,6 +114,7 @@ void Processor::halt() {
   ready_.clear();
   if (running_) {
     sim_.cancel(running_->completion);
+    trace_event(running_->trace_source, ev_run_, 0, obs::EventType::kEnd);
     running_.reset();
   }
   if (kick_.valid()) {
@@ -159,7 +175,7 @@ void Processor::on_release(TaskId id) {
   job.remaining = sample_execution_time(task);
   job.sequence = next_job_sequence_++;
   ready_.push_back(job);
-  trace_event(task.config.name, "release");
+  trace_event(task.trace_source, ev_release_);
   reevaluate();
 }
 
@@ -168,6 +184,8 @@ void Processor::on_complete() {
   RunningJob done = *running_;
   running_.reset();
   busy_time_ += sim_.now() - done.started;
+  // Close the execution slice opened at dispatch.
+  trace_event(done.trace_source, ev_run_, 0, obs::EventType::kEnd);
 
   auto it = tasks_.find(done.job.task);
   if (it != tasks_.end()) {
@@ -191,10 +209,10 @@ void Processor::on_complete() {
                         sim_.now() > done.job.absolute_deadline;
     if (missed) {
       ++task.stats.deadline_misses;
-      trace_event(task.config.name, "deadline_miss",
+      trace_event(task.trace_source, ev_deadline_miss_,
                   sim_.now() - done.job.absolute_deadline);
     }
-    trace_event(task.config.name, "complete",
+    trace_event(task.trace_source, ev_complete_,
                 static_cast<std::int64_t>(response));
     // Copy the body out: one-shot removal below invalidates `task`.
     JobBody body = task.body;
@@ -208,7 +226,12 @@ void Processor::on_complete() {
 void Processor::reevaluate() {
   if (halted_) return;
   // Freeze the running job (if preemption is allowed) so the scheduler sees
-  // a uniform ready list.
+  // a uniform ready list. The frozen identity lets the dispatch below tell a
+  // genuine switch from a resume of the same job, so execution-slice spans
+  // only split on real preemptions.
+  bool had_frozen = false;
+  std::uint64_t frozen_sequence = 0;
+  std::uint32_t frozen_source = 0;
   if (running_) {
     if (!scheduler_->preemptive()) return;
     sim_.cancel(running_->completion);
@@ -217,6 +240,9 @@ void Processor::reevaluate() {
     busy_time_ += ran;
     job.remaining -= ran;
     if (job.remaining < 1) job.remaining = 1;  // completion races the kick
+    had_frozen = true;
+    frozen_sequence = job.sequence;
+    frozen_source = running_->trace_source;
     ready_.push_back(job);
     running_.reset();
   }
@@ -240,17 +266,30 @@ void Processor::reevaluate() {
     auto task_it = tasks_.find(run.job.task);
     if (task_it != tasks_.end()) {
       auto& task = task_it->second;
+      run.trace_source = task.trace_source;
       if (first_cpu_at_.count(run.job.task) == 0) {
         first_cpu_at_[run.job.task] = sim_.now();
       } else if (last_dispatched_ != run.job.task) {
         ++task.stats.preemptions;
       }
     }
+    const bool resumed_same = had_frozen && frozen_sequence == run.job.sequence;
+    if (!resumed_same) {
+      if (had_frozen) {
+        trace_event(frozen_source, ev_run_, 0, obs::EventType::kEnd);
+        trace_event(frozen_source, ev_preempt_);
+      }
+      trace_event(run.trace_source, ev_run_, 0, obs::EventType::kBegin);
+    }
     last_dispatched_ = run.job.task;
     run.started = sim_.now();
     run.completion =
         sim_.schedule_in(run.job.remaining, [this] { on_complete(); });
     running_ = run;
+  } else if (had_frozen) {
+    // Frozen but nothing dispatchable (e.g. outside a TT window): the slice
+    // ends here and a new one begins when the job is re-selected.
+    trace_event(frozen_source, ev_run_, 0, obs::EventType::kEnd);
   }
 
   // Wake up at the next scheduler-internal decision point (TT window edge,

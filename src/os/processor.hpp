@@ -81,6 +81,7 @@ class Processor {
     TaskStats stats;
     sim::EventId recurrence;
     std::uint64_t release_count = 0;
+    std::uint32_t trace_source = 0;  // interned "<core>/<task>" lane id
     bool one_shot = false;
     bool removed = false;  // deferred removal while a job is in flight
   };
@@ -89,14 +90,17 @@ class Processor {
     ReadyJob job;
     sim::Time started = 0;
     sim::EventId completion;
+    std::uint32_t trace_source = 0;
   };
 
   void on_release(TaskId id);
   void on_complete();
   void reevaluate();
   sim::Duration sample_execution_time(const TaskState& task);
-  void trace_event(const std::string& task, const char* event,
-                   std::int64_t value = 0);
+  /// Hot-path trace append: interned ids only, no string construction.
+  void trace_event(std::uint32_t source, std::uint32_t name,
+                   std::int64_t value = 0,
+                   obs::EventType type = obs::EventType::kInstant);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -110,6 +114,13 @@ class Processor {
   std::optional<RunningJob> running_;
   std::map<TaskId, sim::Time> first_cpu_at_;  // release -> first dispatch
   sim::EventId kick_;
+  // Event-name ids interned once at construction so per-job records are a
+  // couple of integer stores.
+  std::uint32_t ev_release_ = 0;
+  std::uint32_t ev_run_ = 0;
+  std::uint32_t ev_complete_ = 0;
+  std::uint32_t ev_deadline_miss_ = 0;
+  std::uint32_t ev_preempt_ = 0;
   TaskId next_task_id_ = 1;
   std::uint64_t next_job_sequence_ = 0;
   TaskId last_dispatched_ = kInvalidTask;

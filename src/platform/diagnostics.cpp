@@ -1,12 +1,20 @@
 #include "platform/diagnostics.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
 namespace dynaplat::platform {
 
 void DiagnosticsService::attach(PlatformNode& node) {
-  nodes_.push_back(&node);
+  if (std::find(nodes_.begin(), nodes_.end(), &node) == nodes_.end()) {
+    nodes_.push_back(&node);
+  }
+  if (metrics_ == nullptr && node.ecu().trace() != nullptr) {
+    metrics_ = &node.ecu().trace()->metrics();
+  }
+  // Re-attach just replaces the sink with an equivalent one, so fault
+  // records are never forwarded twice.
   const std::string ecu_name = node.ecu().name();
   node.monitor().set_report_sink(
       [this, ecu_name](const monitor::FaultRecord& record) {
@@ -14,10 +22,18 @@ void DiagnosticsService::attach(PlatformNode& node) {
       });
 }
 
+std::string DiagnosticsService::metrics_snapshot() const {
+  if (metrics_ == nullptr) return "{}";
+  return metrics_->snapshot_json();
+}
+
 void DiagnosticsService::submit(const std::string& ecu,
                                 const monitor::FaultRecord& record) {
   store_.push_back(record);
   store_sources_.push_back(ecu);
+  if (metrics_ != nullptr) {
+    metrics_->counter("diag.faults." + ecu + "." + record.kind).add();
+  }
   if (online_ && uplink_) {
     uplink_(record);
     ++uplinked_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "monitor/runtime_monitor.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 
 namespace dynaplat::platform {
@@ -24,7 +25,18 @@ class DiagnosticsService {
       : platform_(platform) {}
 
   /// Hooks a node's monitor: its fault records flow into this service.
+  /// Idempotent — re-attaching an already-attached node does not double
+  /// fault forwarding. Adopts the node's metrics registry (via its trace)
+  /// as the snapshot source unless set_metrics() chose one explicitly.
   void attach(PlatformNode& node);
+
+  /// Explicit vehicle-wide metrics registry for metrics_snapshot(); wins
+  /// over the registry adopted from the first attached traced node.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// JSON snapshot of the vehicle-wide metrics registry ("{}" when no
+  /// registry is known) — the fleet-facing counterpart of vehicle_report().
+  std::string metrics_snapshot() const;
 
   /// Models the vehicle's internet connection state. While offline,
   /// reports queue; on reconnect the backlog flushes to the uplink sink.
@@ -50,6 +62,7 @@ class DiagnosticsService {
   void submit(const std::string& ecu, const monitor::FaultRecord& record);
 
   DynamicPlatform& platform_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<PlatformNode*> nodes_;
   std::vector<monitor::FaultRecord> store_;
   std::vector<std::string> store_sources_;

@@ -126,7 +126,8 @@ bool PlatformNode::install(const model::AppDef& def, AppFactory factory,
     if (reason != nullptr) *reason = "no factory for '" + def.name + "'";
     return false;
   }
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "install:" + label);
@@ -220,7 +221,8 @@ bool PlatformNode::start(const std::string& label, bool shadow) {
       inst.def.app_class == model::AppClass::kDeterministic) {
     resync_schedule();
   }
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          std::string(shadow ? "start_shadow:" : "start:") +
@@ -241,7 +243,8 @@ void PlatformNode::stop(const std::string& label) {
   }
   inst.tasks.clear();
   inst.running = false;
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "stop:" + label);
@@ -258,7 +261,8 @@ void PlatformNode::uninstall(const std::string& label) {
   if (it->second.running) stop(label);
   ecu_.memory().destroy_process(it->second.process);
   instances_.erase(it);
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "uninstall:" + label);
@@ -276,7 +280,8 @@ void PlatformNode::redirect(const std::string& from_label,
   withdraw_provided(*from);
   to->app->set_active(true);
   offer_provided(*to);
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "redirect:" + from_label + "->" + to_label);
@@ -288,7 +293,8 @@ void PlatformNode::promote(const std::string& label) {
   if (inst == nullptr || !inst->running || inst->app->active()) return;
   inst->app->set_active(true);
   offer_provided(*inst);
-  if (ecu_.trace() != nullptr) {
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "promote:" + label);

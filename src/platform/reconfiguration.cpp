@@ -25,6 +25,16 @@ void ReconfigurationManager::disengage() {
   sweeper_ = {};
 }
 
+sim::Trace* ReconfigurationManager::vehicle_trace() {
+  for (const auto& ecu_def : platform_.system_model().ecus()) {
+    PlatformNode* node = platform_.node(ecu_def.name);
+    if (node != nullptr && node->ecu().trace() != nullptr) {
+      return node->ecu().trace();
+    }
+  }
+  return nullptr;
+}
+
 bool ReconfigurationManager::alive_somewhere(const std::string& app) {
   for (const auto& ecu_def : platform_.system_model().ecus()) {
     PlatformNode* node = platform_.node(ecu_def.name);
@@ -108,22 +118,45 @@ void ReconfigurationManager::sweep() {
     migration.from_ecu = dead_host;
     migration.to_ecu = place(*def, binding.candidates, dead_host);
     migration.success = !migration.to_ecu.empty();
+    sim::Trace* trace = vehicle_trace();
+    const bool was_stranded =
+        std::find(previously_stranded_.begin(), previously_stranded_.end(),
+                  def->name) != previously_stranded_.end();
     if (!migration.success) {
       stranded_.push_back(def->name);
       // Record the failure once per stranding episode, not per sweep; the
       // placement itself is retried every sweep (capacity may free up).
-      const bool already_stranded =
-          std::find(previously_stranded_.begin(), previously_stranded_.end(),
-                    def->name) != previously_stranded_.end();
-      if (!already_stranded) migrations_.push_back(migration);
+      if (!was_stranded) {
+        migrations_.push_back(migration);
+        if (trace != nullptr) {
+          trace->metrics().counter("reconfig.failed_migrations").add();
+          // A stranding episode renders as a span on the "reconfig" lane:
+          // open while the app has no live host.
+          if (trace->enabled(sim::TraceCategory::kPlatform)) {
+            trace->record(migration.at, sim::TraceCategory::kPlatform,
+                          "reconfig", "stranded:" + migration.app, 0,
+                          obs::EventType::kBegin);
+          }
+        }
+      }
     } else {
       migrations_.push_back(migration);
+      if (trace != nullptr) {
+        trace->metrics().counter("reconfig.migrations").add();
+        if (was_stranded &&
+            trace->enabled(sim::TraceCategory::kPlatform)) {
+          trace->record(migration.at, sim::TraceCategory::kPlatform,
+                        "reconfig", "stranded:" + migration.app, 0,
+                        obs::EventType::kEnd);
+        }
+      }
     }
     if (migration.success && platform_.node(migration.to_ecu) != nullptr) {
-      auto* trace = platform_.node(migration.to_ecu)->ecu().trace();
-      if (trace != nullptr) {
-        trace->record(migration.at, sim::TraceCategory::kPlatform,
-                      migration.to_ecu, "reconfig:" + migration.app);
+      auto* target = platform_.node(migration.to_ecu)->ecu().trace();
+      if (target != nullptr &&
+          target->enabled(sim::TraceCategory::kPlatform)) {
+        target->record(migration.at, sim::TraceCategory::kPlatform,
+                       migration.to_ecu, "reconfig:" + migration.app);
       }
     }
   }

@@ -9,6 +9,21 @@ std::string versioned_label(const model::AppDef& def) {
   return def.name + "#v" + std::to_string(def.version);
 }
 
+// Update phases render as nested spans on the "<ecu>/update" timeline lane
+// (obs/export.hpp): an outer span for the whole protocol, inner spans per
+// phase. Every early-return path must close its open spans, or the exporter
+// drops them as unbalanced.
+void phase_mark(PlatformNode& node, const char* name, bool begin) {
+  sim::Trace* trace = node.ecu().trace();
+  if (trace == nullptr ||
+      !trace->enabled(sim::TraceCategory::kPlatform)) {
+    return;
+  }
+  trace->record(node.ecu().simulator().now(), sim::TraceCategory::kPlatform,
+                node.ecu().name() + "/update", name, 0,
+                begin ? obs::EventType::kBegin : obs::EventType::kEnd);
+}
+
 std::uint64_t shadow_misses(PlatformNode& node, const std::string& label) {
   const AppInstance* inst = node.instance(label);
   if (inst == nullptr) return 0;
@@ -32,6 +47,8 @@ void UpdateManager::staged_update(PlatformNode& node,
   report->started = platform_.simulator().now();
   report->serving_label = current_label;
   const std::string new_label = versioned_label(new_def);
+  phase_mark(node, "update:staged", true);
+  phase_mark(node, "pkg_verify", true);
 
   // Package verification runs while the old version still serves: no
   // ownership gap accrues here.
@@ -41,27 +58,35 @@ void UpdateManager::staged_update(PlatformNode& node,
       [this, &node, current_label, new_def, new_label, factory, config,
        done, report]() mutable {
         auto& simulator = platform_.simulator();
+        phase_mark(node, "pkg_verify", false);
         // Phase 1: start the new version in parallel (shadow).
         report->phase_reached = 1;
+        phase_mark(node, "phase1_shadow", true);
         std::string why;
         const std::string suffix = "#v" + std::to_string(new_def.version);
         if (!node.install(new_def, factory, &why, suffix) ||
             !node.start(new_label, /*shadow=*/true)) {
+          phase_mark(node, "phase1_shadow", false);
+          phase_mark(node, "update:staged", false);
           report->success = false;
           report->reason = "phase 1 failed: " + why;
           report->finished = simulator.now();
           done(*report);
           return;
         }
+        phase_mark(node, "phase1_shadow", false);
+        phase_mark(node, "warmup", true);
         // Phase 2 after warm-up: verify shadow health, then sync state.
         simulator.schedule_in(config.parallel_warmup, [this, &node,
                                                        current_label,
                                                        new_label, config,
                                                        done, report] {
           auto& simulator = platform_.simulator();
+          phase_mark(node, "warmup", false);
           if (config.verify_phases && shadow_misses(node, new_label) > 0) {
             // Rollback: the new version cannot hold its deadlines here.
             node.uninstall(new_label);
+            phase_mark(node, "update:staged", false);
             report->success = false;
             report->reason = "phase 2 rollback: shadow missed deadlines";
             report->finished = simulator.now();
@@ -69,9 +94,12 @@ void UpdateManager::staged_update(PlatformNode& node,
             return;
           }
           report->phase_reached = 2;
+          phase_mark(node, "phase2_state_sync", true);
           AppInstance* old_inst = node.instance(current_label);
           AppInstance* new_inst = node.instance(new_label);
           if (old_inst == nullptr || new_inst == nullptr) {
+            phase_mark(node, "phase2_state_sync", false);
+            phase_mark(node, "update:staged", false);
             report->success = false;
             report->reason = "phase 2 failed: instance vanished";
             report->finished = simulator.now();
@@ -86,10 +114,14 @@ void UpdateManager::staged_update(PlatformNode& node,
               "state_sync", sync_cost, 9, os::TaskClass::kNonDeterministic,
               [this, &node, current_label, new_label, done, report] {
                 auto& simulator = platform_.simulator();
+                phase_mark(node, "phase2_state_sync", false);
                 // Phase 3: redirect traffic (atomic on this node).
                 report->phase_reached = 3;
+                phase_mark(node, "phase3_redirect", true);
                 node.redirect(current_label, new_label);
+                phase_mark(node, "phase3_redirect", false);
                 // Phase 4: stop and remove the old version.
+                phase_mark(node, "phase4_stop_old", true);
                 simulator.schedule_in(sim::kMillisecond, [&node,
                                                           current_label,
                                                           new_label, done,
@@ -97,6 +129,8 @@ void UpdateManager::staged_update(PlatformNode& node,
                                                           this] {
                   report->phase_reached = 4;
                   node.uninstall(current_label);
+                  phase_mark(node, "phase4_stop_old", false);
+                  phase_mark(node, "update:staged", false);
                   report->serving_label = new_label;
                   report->success = true;
                   report->reason = "staged update complete";
@@ -119,6 +153,7 @@ void UpdateManager::stop_restart_update(PlatformNode& node,
   report->app = new_def.name;
   report->started = platform_.simulator().now();
   const std::string new_label = versioned_label(new_def);
+  phase_mark(node, "update:stop_restart", true);
 
   // Service goes down immediately.
   node.uninstall(current_label);
@@ -134,6 +169,7 @@ void UpdateManager::stop_restart_update(PlatformNode& node,
         if (!node.install(new_def, factory, &why,
                           "#v" + std::to_string(new_def.version)) ||
             !node.start(new_label)) {
+          phase_mark(node, "update:stop_restart", false);
           report->success = false;
           report->reason = "reinstall failed: " + why;
           report->finished = platform_.simulator().now();
@@ -141,6 +177,7 @@ void UpdateManager::stop_restart_update(PlatformNode& node,
           done(*report);
           return;
         }
+        phase_mark(node, "update:stop_restart", false);
         report->success = true;
         report->serving_label = new_label;
         report->reason = "stop-restart complete";
@@ -219,6 +256,7 @@ void UpdateManager::central_switch_update(PlatformNode& node,
   report->app = new_def.name;
   report->started = platform_.simulator().now();
   const std::string new_label = versioned_label(new_def);
+  phase_mark(node, "update:central_switch", true);
 
   // Pre-stage the new version (shadow) like the staged protocol would --
   // the difference under test is the *switchover*, not the staging.
@@ -226,6 +264,7 @@ void UpdateManager::central_switch_update(PlatformNode& node,
   if (!node.install(new_def, factory, &why,
                     "#v" + std::to_string(new_def.version)) ||
       !node.start(new_label, /*shadow=*/true)) {
+    phase_mark(node, "update:central_switch", false);
     report->success = false;
     report->reason = "staging failed: " + why;
     report->finished = platform_.simulator().now();
@@ -245,6 +284,7 @@ void UpdateManager::central_switch_update(PlatformNode& node,
       [this, &node, current_label, new_label, config, done, report] {
         node.redirect(current_label, new_label);
         node.uninstall(current_label);
+        phase_mark(node, "update:central_switch", false);
         report->success = true;
         report->serving_label = new_label;
         report->reason = "central switch complete";

@@ -2,27 +2,45 @@
 
 namespace dynaplat::sim {
 
-void Trace::record(Time at, TraceCategory cat, std::string source,
-                   std::string event, std::int64_t value) {
-  if (!enabled_) return;
-  records_.push_back(
-      TraceRecord{at, cat, std::move(source), std::move(event), value});
+void Trace::record(Time at, TraceCategory cat, std::string_view source,
+                   std::string_view event, std::int64_t value,
+                   obs::EventType type) {
+  if (!buffer_.enabled(cat)) return;
+  buffer_.record(at, cat, source, event, value, type);
 }
 
-std::size_t Trace::count(TraceCategory cat, const std::string& event) const {
-  std::size_t n = 0;
-  for (const auto& r : records_) {
-    if (r.category == cat && r.event == event) ++n;
-  }
-  return n;
+TraceRecord Trace::materialize(const obs::Event& event) const {
+  return TraceRecord{event.at, event.category, buffer_.name_of(event.source),
+                     buffer_.name_of(event.name), event.value};
+}
+
+std::vector<TraceRecord> Trace::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(buffer_.size());
+  buffer_.for_each(
+      [&](const obs::Event& event) { out.push_back(materialize(event)); });
+  return out;
+}
+
+std::vector<TraceRecord> Trace::tail(std::size_t n) const {
+  const std::size_t total = buffer_.size();
+  const std::size_t skip = total > n ? total - n : 0;
+  std::vector<TraceRecord> out;
+  out.reserve(total - skip);
+  std::size_t i = 0;
+  buffer_.for_each([&](const obs::Event& event) {
+    if (i++ >= skip) out.push_back(materialize(event));
+  });
+  return out;
 }
 
 std::vector<TraceRecord> Trace::filter(
     const std::function<bool(const TraceRecord&)>& pred) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
-    if (pred(r)) out.push_back(r);
-  }
+  buffer_.for_each([&](const obs::Event& event) {
+    TraceRecord record = materialize(event);
+    if (pred(record)) out.push_back(std::move(record));
+  });
   return out;
 }
 

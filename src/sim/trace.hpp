@@ -1,28 +1,34 @@
-// Structured event tracing.
+// Structured event tracing — facade over the obs:: observability layer.
 //
 // Subsystems append typed records; tests and benches query them afterwards.
 // The trace is the "flight recorder" substrate the paper's runtime
 // monitoring (Sec. 3.4) stores fault conditions into.
+//
+// Since trace v2 the storage lives in obs::TraceBuffer: interned string
+// ids, an optional ring-buffer bound, and per-category enable masks. This
+// facade keeps the original string-based record API for cold paths and
+// existing call sites; hot paths (os/processor, net buses) pre-intern ids
+// and write through buffer() directly. Each Trace also owns the vehicle's
+// obs::MetricsRegistry, so passing a sim::Trace* around wires up both
+// tracing and metrics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace dynaplat::sim {
 
-enum class TraceCategory : std::uint8_t {
-  kTask,      // task activation / completion / deadline events
-  kNetwork,   // frame transmission / reception
-  kService,   // middleware events (offer, subscribe, call)
-  kPlatform,  // lifecycle: install, start, stop, update phases
-  kFault,     // injected or detected faults
-  kSecurity,  // auth, verification outcomes
-};
+using TraceCategory = obs::Category;
 
+/// A materialized (string-valued) view of one obs::Event. Produced on
+/// demand by records()/tail()/filter(); not the storage format.
 struct TraceRecord {
   Time at = 0;
   TraceCategory category = TraceCategory::kTask;
@@ -33,26 +39,49 @@ struct TraceRecord {
 
 class Trace {
  public:
+  Trace() = default;
+  explicit Trace(obs::TraceBufferConfig config) : buffer_(config) {}
+
   /// When disabled, record() is a cheap no-op (overhead ablation, E10).
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { buffer_.set_enabled(on); }
+  bool enabled() const { return buffer_.enabled(); }
+  /// Per-category check — call sites use this to skip building the source /
+  /// event strings entirely when the category is masked off.
+  bool enabled(TraceCategory cat) const { return buffer_.enabled(cat); }
 
-  void record(Time at, TraceCategory cat, std::string source,
-              std::string event, std::int64_t value = 0);
+  void record(Time at, TraceCategory cat, std::string_view source,
+              std::string_view event, std::int64_t value = 0,
+              obs::EventType type = obs::EventType::kInstant);
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// Retained records, oldest first, materialized with their strings.
+  std::vector<TraceRecord> records() const;
+  /// The newest `n` retained records (the flight-recorder read path).
+  std::vector<TraceRecord> tail(std::size_t n) const;
+  void clear() { buffer_.clear(); }
 
-  /// Number of records matching category + event name.
-  std::size_t count(TraceCategory cat, const std::string& event) const;
+  /// Number of retained records matching category + event name.
+  std::size_t count(TraceCategory cat, const std::string& event) const {
+    return buffer_.count(cat, event);
+  }
 
-  /// All records matching a predicate.
+  /// All retained records matching a predicate.
   std::vector<TraceRecord> filter(
       const std::function<bool(const TraceRecord&)>& pred) const;
 
+  /// The underlying event buffer, for pre-interning hot paths, ring-bound
+  /// configuration and the Chrome trace exporter.
+  obs::TraceBuffer& buffer() { return buffer_; }
+  const obs::TraceBuffer& buffer() const { return buffer_; }
+
+  /// The vehicle-wide metrics registry riding along with the trace.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
-  bool enabled_ = true;
-  std::vector<TraceRecord> records_;
+  TraceRecord materialize(const obs::Event& event) const;
+
+  obs::TraceBuffer buffer_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace dynaplat::sim

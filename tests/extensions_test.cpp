@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "net/can_bus.hpp"
 #include "net/ethernet.hpp"
 #include "net/router.hpp"
+#include "obs/json.hpp"
 #include "os/clock.hpp"
 #include "platform/clock_sync.hpp"
 #include "platform/diagnostics.hpp"
@@ -252,6 +254,103 @@ TEST(Diagnostics, AggregatesFaultsAcrossNodesAndBuffersOffline) {
   EXPECT_EQ(diagnostics.queued_for_uplink(), 0u);
   const std::string report = diagnostics.vehicle_report();
   EXPECT_NE(report.find("deadline_miss"), std::string::npos);
+}
+
+// A self-overloading one-ECU world that organically produces monitor
+// faults, shared by the diagnostics tests below.
+struct FaultyWorld {
+  FaultyWorld() {
+    parsed = model::parse_system(
+        "network Net kind=ethernet\n"
+        "ecu A mips=100 memory=64M asil=D network=Net\n"
+        "app Over class=deterministic asil=B memory=4M\n"
+        "  task t period=10ms wcet=900K priority=1\n"
+        "deploy Over -> A\n");
+    const_cast<model::AppDef*>(parsed.model.app("Over"))
+        ->tasks[0]
+        .execution_jitter = 0.5;
+    backbone = std::make_unique<net::EthernetSwitch>(simulator, "eth",
+                                                     net::EthernetConfig{});
+    os::EcuConfig config{.name = "A", .cpu = {.mips = 100}};
+    ecu = std::make_unique<os::Ecu>(simulator, config, backbone.get(), 1,
+                                    &trace);
+    platform = std::make_unique<platform::DynamicPlatform>(
+        simulator, parsed.model, parsed.deployment);
+    platform::NodeConfig node_config;
+    node_config.time_triggered = false;
+    node_config.admission_control = false;
+    node = &platform->add_node(*ecu, node_config);
+    platform->register_app(
+        "Over", [] { return std::make_unique<platform::Application>(); });
+    EXPECT_TRUE(platform->install_all());
+  }
+
+  sim::Simulator simulator;
+  sim::Trace trace;
+  model::ParsedSystem parsed;
+  std::unique_ptr<net::EthernetSwitch> backbone;
+  std::unique_ptr<os::Ecu> ecu;
+  std::unique_ptr<platform::DynamicPlatform> platform;
+  platform::PlatformNode* node = nullptr;
+};
+
+TEST(Diagnostics, FlushOnReconnectPreservesFaultOrder) {
+  FaultyWorld world;
+  platform::DiagnosticsService diagnostics(*world.platform);
+  diagnostics.attach(*world.node);
+  std::vector<sim::Time> uplink_times;
+  diagnostics.set_uplink([&](const monitor::FaultRecord& record) {
+    uplink_times.push_back(record.at);
+  });
+  diagnostics.set_online(false);
+
+  world.simulator.run_until(sim::seconds(2));
+  const std::size_t queued = diagnostics.queued_for_uplink();
+  ASSERT_GT(queued, 1u);
+  diagnostics.set_online(true);
+
+  // The backlog flushed in submission order: timestamps non-decreasing and
+  // matching the vehicle store record for record.
+  ASSERT_EQ(uplink_times.size(), queued);
+  ASSERT_EQ(uplink_times.size(), diagnostics.all_faults().size());
+  for (std::size_t i = 0; i < uplink_times.size(); ++i) {
+    EXPECT_EQ(uplink_times[i], diagnostics.all_faults()[i].at);
+    if (i > 0) EXPECT_GE(uplink_times[i], uplink_times[i - 1]);
+  }
+}
+
+TEST(Diagnostics, ReattachDoesNotDuplicateForwarding) {
+  FaultyWorld world;
+  platform::DiagnosticsService diagnostics(*world.platform);
+  diagnostics.attach(*world.node);
+  diagnostics.attach(*world.node);  // idempotent: no double forwarding
+  int uplinked = 0;
+  diagnostics.set_uplink([&](const monitor::FaultRecord&) { ++uplinked; });
+
+  world.simulator.run_until(sim::seconds(2));
+  ASSERT_GT(diagnostics.all_faults().size(), 0u);
+  // Each monitor fault appears exactly once in the store and the uplink.
+  EXPECT_EQ(diagnostics.all_faults().size(),
+            world.node->monitor().faults().size());
+  EXPECT_EQ(static_cast<std::size_t>(uplinked),
+            diagnostics.all_faults().size());
+  EXPECT_EQ(diagnostics.uplinked(), diagnostics.all_faults().size());
+}
+
+TEST(Diagnostics, MetricsSnapshotExposesFaultCounters) {
+  FaultyWorld world;
+  platform::DiagnosticsService diagnostics(*world.platform);
+  // attach() adopts the node's trace-backed registry automatically.
+  diagnostics.attach(*world.node);
+  world.simulator.run_until(sim::seconds(2));
+  ASSERT_GT(diagnostics.all_faults().size(), 0u);
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(diagnostics.metrics_snapshot(), &doc, &error))
+      << error;
+  const std::string kind = diagnostics.all_faults().front().kind;
+  EXPECT_GE(doc.at("counters").at("diag.faults.A." + kind).number, 1.0);
 }
 
 // --- ACC XiL scenario ---------------------------------------------------------------------

@@ -1,0 +1,479 @@
+// Observability layer tests: interner, bounded trace ring, category masks,
+// metrics registry (incl. thread-pool concurrency), the minimal JSON
+// parser, and the Chrome trace-event exporter — ending with the acceptance
+// round-trip: a full platform run with a staged update exported and parsed
+// back, checking lane mapping and span nesting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+#include "middleware/payload.hpp"
+#include "model/parser.hpp"
+#include "net/ethernet.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "platform/platform.hpp"
+#include "platform/update.hpp"
+
+namespace dynaplat {
+namespace {
+
+using obs::Category;
+using obs::EventType;
+
+// --- Interner --------------------------------------------------------------
+
+TEST(ObsInterner, SameStringSameId) {
+  obs::Interner interner;
+  const auto a = interner.intern("brake_ctl");
+  const auto b = interner.intern("camera");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, interner.intern("brake_ctl"));
+  EXPECT_EQ(interner.lookup(a), "brake_ctl");
+  EXPECT_EQ(interner.lookup(b), "camera");
+}
+
+TEST(ObsInterner, SlotZeroIsReservedEmpty) {
+  obs::Interner interner;
+  EXPECT_EQ(interner.lookup(0), "");
+  EXPECT_NE(interner.intern("x"), 0u);
+  EXPECT_EQ(interner.find("never_interned"), 0u);
+  EXPECT_EQ(interner.find("x"), interner.intern("x"));
+}
+
+// --- TraceBuffer ------------------------------------------------------------
+
+TEST(ObsTraceBuffer, RingBoundEvictsOldestAndCounts) {
+  obs::TraceBuffer buffer({.capacity = 4});
+  const auto src = buffer.intern("ecu/app");
+  const auto name = buffer.intern("tick");
+  for (int i = 0; i < 10; ++i) {
+    buffer.record(i, Category::kTask, src, name, i);
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].value, 6 + i);  // oldest-first, newest 4 retained
+  }
+}
+
+TEST(ObsTraceBuffer, CategoryMaskFiltersRecords) {
+  obs::TraceBuffer buffer;
+  buffer.set_category_enabled(Category::kNetwork, false);
+  EXPECT_TRUE(buffer.enabled());
+  EXPECT_FALSE(buffer.enabled(Category::kNetwork));
+  buffer.record(1, Category::kNetwork, "bus", "tx");
+  buffer.record(2, Category::kTask, "cpu", "run");
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.recorded(), 1u);
+
+  buffer.set_enabled(false);
+  EXPECT_FALSE(buffer.enabled());
+  buffer.record(3, Category::kTask, "cpu", "run");
+  EXPECT_EQ(buffer.size(), 1u);
+
+  // Re-enabling restores the pre-disable mask (network still off).
+  buffer.set_enabled(true);
+  EXPECT_TRUE(buffer.enabled(Category::kTask));
+  EXPECT_FALSE(buffer.enabled(Category::kNetwork));
+}
+
+TEST(ObsTraceBuffer, ShrinkingCapacityKeepsNewest) {
+  obs::TraceBuffer buffer;
+  const auto src = buffer.intern("s");
+  const auto name = buffer.intern("e");
+  for (int i = 0; i < 8; ++i) {
+    buffer.record(i, Category::kTask, src, name, i);
+  }
+  buffer.set_capacity(3);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 5u);
+  const auto events = buffer.snapshot();
+  EXPECT_EQ(events.front().value, 5);
+  EXPECT_EQ(events.back().value, 7);
+}
+
+TEST(ObsTraceBuffer, SpanRecordsAndCount) {
+  obs::TraceBuffer buffer;
+  const auto src = buffer.intern("ecu/app");
+  const auto run = buffer.intern("run");
+  buffer.begin_span(10, Category::kTask, src, run);
+  buffer.end_span(30, Category::kTask, src, run);
+  buffer.record(40, Category::kTask, src, buffer.intern("done"));
+  EXPECT_EQ(buffer.count(Category::kTask, "run"), 2u);
+  EXPECT_EQ(buffer.count(Category::kTask, "done"), 1u);
+  EXPECT_EQ(buffer.count(Category::kNetwork, "run"), 0u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, EventType::kBegin);
+  EXPECT_EQ(events[1].type, EventType::kEnd);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeBasics) {
+  obs::MetricsRegistry registry;
+  auto& frames = registry.counter("net.frames");
+  frames.add();
+  frames.add(9);
+  EXPECT_EQ(frames.value(), 10u);
+  EXPECT_EQ(&frames, &registry.counter("net.frames"));
+
+  auto& util = registry.gauge("net.util");
+  util.set(0.25);
+  util.add(0.5);
+  EXPECT_DOUBLE_EQ(util.value(), 0.75);
+  EXPECT_EQ(registry.counter_count(), 1u);
+  EXPECT_EQ(registry.gauge_count(), 1u);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndOverflow) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("lat", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(10.0);   // inclusive upper bound -> first bucket
+  h.observe(50.0);
+  h.observe(1e9);    // overflow
+  EXPECT_EQ(h.total_count(), 4u);
+  ASSERT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 10.0 + 50.0 + 1e9);
+  EXPECT_TRUE(std::isinf(h.upper_bound(2)));
+}
+
+TEST(ObsMetrics, ConcurrentUpdatesUnderThreadPool) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("c");
+  auto& gauge = registry.gauge("g");
+  auto& histogram = registry.histogram("h", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  {
+    concurrency::ThreadPool pool(kThreads);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < kThreads; ++t) {
+      done.push_back(pool.submit([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          counter.add();
+          gauge.add(1.0);
+          histogram.observe(i % 2 == 0 ? 0.0 : 1.0);
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.total_count(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count_at(0) + histogram.count_at(1),
+            histogram.total_count());
+}
+
+TEST(ObsMetrics, SnapshotJsonRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.counter("faults.total").add(3);
+  registry.gauge("bus.util").set(0.5);
+  registry.histogram("lat", {100.0}).observe(42.0);
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(registry.snapshot_json(), &doc, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("faults.total").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("bus.util").number, 0.5);
+  const auto& lat = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(lat.at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(lat.at("sum").number, 42.0);
+  ASSERT_EQ(lat.at("buckets").size(), 2u);
+  EXPECT_DOUBLE_EQ(lat.at("buckets")[0].at("le").number, 100.0);
+  EXPECT_DOUBLE_EQ(lat.at("buckets")[0].at("count").number, 1.0);
+  EXPECT_EQ(lat.at("buckets")[1].at("le").string, "inf");
+}
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(ObsJson, ParsesNestedDocuments) {
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(
+      R"({"a": [1, -2.5, true, null, "x\n\"y\""], "b": {"c": 3e2}})", &doc));
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").size(), 5u);
+  EXPECT_DOUBLE_EQ(doc.at("a")[1].number, -2.5);
+  EXPECT_TRUE(doc.at("a")[2].boolean);
+  EXPECT_TRUE(doc.at("a")[3].is_null());
+  EXPECT_EQ(doc.at("a")[4].string, "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(doc.at("b").at("c").number, 300.0);
+  // Missing-key chains degrade to null instead of throwing.
+  EXPECT_TRUE(doc.at("missing").at("chain").is_null());
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  obs::json::Value doc;
+  EXPECT_FALSE(obs::json::parse("{", &doc));
+  EXPECT_FALSE(obs::json::parse("[1,]", &doc));
+  EXPECT_FALSE(obs::json::parse("{} trailing", &doc));
+  EXPECT_FALSE(obs::json::parse("'single'", &doc));
+}
+
+TEST(ObsJson, EscapeProducesParseableStrings) {
+  const std::string nasty = "a\"b\\c\nd\te\x01";
+  obs::json::Value doc;
+  ASSERT_TRUE(
+      obs::json::parse("\"" + obs::json::escape(nasty) + "\"", &doc));
+  EXPECT_EQ(doc.string, nasty);
+}
+
+// --- Chrome trace exporter ---------------------------------------------------
+
+TEST(ObsExport, MapsSourcesToProcessAndThreadLanes) {
+  obs::TraceBuffer buffer;
+  const auto cpu_lane = buffer.intern("EcuA/brake_ctl");
+  const auto bus_lane = buffer.intern("can0");
+  const auto run = buffer.intern("run");
+  const auto tx = buffer.intern("tx");
+  buffer.begin_span(1'000, Category::kTask, cpu_lane, run);
+  buffer.end_span(3'000, Category::kTask, cpu_lane, run);
+  buffer.record(2'000, Category::kNetwork, bus_lane, tx, 7);
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(obs::to_chrome_trace_json(buffer), &doc,
+                               &error))
+      << error;
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  // Metadata: process "EcuA" and thread "EcuA/brake_ctl"; the bus gets its
+  // own process lane named by the full source.
+  std::set<std::string> process_names;
+  std::set<std::string> thread_names;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.at("ph").string == "M" &&
+        e.at("name").string == "process_name") {
+      process_names.insert(e.at("args").at("name").string);
+    }
+    if (e.at("ph").string == "M" && e.at("name").string == "thread_name") {
+      thread_names.insert(e.at("args").at("name").string);
+    }
+  }
+  EXPECT_TRUE(process_names.count("EcuA"));
+  EXPECT_TRUE(process_names.count("can0"));
+  EXPECT_TRUE(thread_names.count("EcuA/brake_ctl"));
+
+  // The begin/end pair became one complete ("X") event with the span's
+  // start timestamp and duration, in microseconds.
+  bool found_span = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.at("ph").string != "X") continue;
+    found_span = true;
+    EXPECT_EQ(e.at("name").string, "run");
+    EXPECT_DOUBLE_EQ(e.at("ts").number, 1.0);
+    EXPECT_DOUBLE_EQ(e.at("dur").number, 2.0);
+    EXPECT_EQ(e.at("cat").string, "task");
+  }
+  EXPECT_TRUE(found_span);
+}
+
+TEST(ObsExport, DropsOrphanedSpanHalves) {
+  obs::TraceBuffer buffer;
+  const auto lane = buffer.intern("e/app");
+  const auto name = buffer.intern("run");
+  buffer.end_span(5, Category::kTask, lane, name);    // no matching begin
+  buffer.begin_span(10, Category::kTask, lane, name);  // never closed
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(obs::to_chrome_trace_json(buffer), &doc));
+  const auto& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("ph").string, "M");  // only metadata remains
+  }
+}
+
+// --- Acceptance: platform scenario round-trip --------------------------------
+
+class CounterApp final : public platform::Application {
+ public:
+  void on_task(const std::string&) override {
+    ++counter_;
+    if (!active()) return;
+    middleware::PayloadWriter writer;
+    writer.u64(counter_);
+    if (!context_.def->provides.empty()) {
+      context_.comm->publish(context_.service_id(context_.def->provides[0]),
+                             1, writer.take(),
+                             context_.priority_of(context_.def->provides[0]));
+    }
+  }
+  std::vector<std::uint8_t> serialize_state() override {
+    middleware::PayloadWriter writer;
+    writer.u64(counter_);
+    return writer.take();
+  }
+  void restore_state(const std::vector<std::uint8_t>& state) override {
+    middleware::PayloadReader reader(state);
+    counter_ = reader.u64();
+  }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+struct Span {
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+// Spans on one thread lane must nest like a call stack: any two either
+// don't overlap or one contains the other.
+void expect_properly_nested(const std::vector<Span>& spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const Span& a = spans[i];
+      const Span& b = spans[j];
+      const double a_end = a.ts + a.dur;
+      const double b_end = b.ts + b.dur;
+      const bool disjoint = a_end <= b.ts + 1e-9 || b_end <= a.ts + 1e-9;
+      const bool a_in_b = b.ts <= a.ts + 1e-9 && a_end <= b_end + 1e-9;
+      const bool b_in_a = a.ts <= b.ts + 1e-9 && b_end <= a_end + 1e-9;
+      ASSERT_TRUE(disjoint || a_in_b || b_in_a)
+          << "spans overlap partially: [" << a.ts << "," << a_end << ") vs ["
+          << b.ts << "," << b_end << ")";
+    }
+  }
+}
+
+TEST(ObsExport, PlatformScenarioExportIsValidAndNested) {
+  auto parsed = model::parse_system(R"(
+network Net kind=ethernet bitrate=100M
+ecu A mips=1000 memory=64M asil=D network=Net
+ecu B mips=1000 memory=64M asil=D network=Net
+interface Tick paradigm=event payload=8 period=10ms
+app Producer class=deterministic asil=B memory=4M
+  task work period=10ms wcet=100K priority=1
+  provides Tick
+app Consumer class=nondeterministic asil=QM memory=4M
+  task poll period=50ms wcet=50K priority=8
+  consumes Tick
+deploy Producer -> A
+deploy Consumer -> B
+)");
+  sim::Simulator simulator;
+  sim::Trace trace;
+  net::EthernetSwitch backbone(simulator, "eth", {});
+  os::EcuConfig config_a{.name = "A", .cpu = {.mips = 1000}};
+  os::EcuConfig config_b{.name = "B", .cpu = {.mips = 1000}};
+  os::Ecu ecu_a(simulator, config_a, &backbone, 1, &trace);
+  os::Ecu ecu_b(simulator, config_b, &backbone, 2, &trace);
+  platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
+  dp.add_node(ecu_a);
+  dp.add_node(ecu_b);
+  dp.register_app("Producer", [] { return std::make_unique<CounterApp>(); });
+  dp.register_app("Consumer", [] { return std::make_unique<CounterApp>(); });
+  ASSERT_TRUE(dp.install_all());
+  simulator.run_until(200 * sim::kMillisecond);
+
+  platform::UpdateManager updates(dp);
+  model::AppDef v2 = *parsed.model.app("Producer");
+  v2.version = 2;
+  platform::UpdateReport report;
+  updates.staged_update(
+      *dp.node("A"), "Producer", v2,
+      [] { return std::make_unique<CounterApp>(); }, platform::UpdateConfig{},
+      [&](platform::UpdateReport r) { report = r; });
+  simulator.run_until(sim::seconds(1));
+  ASSERT_TRUE(report.success) << report.reason;
+
+  // Round-trip: export -> parse -> structural validation.
+  const std::string exported = obs::to_chrome_trace_json(trace.buffer());
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(exported, &doc, &error)) << error;
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> thread_names;
+  std::map<std::pair<int, int>, std::vector<Span>> spans_per_lane;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    ASSERT_TRUE(e.at("name").is_string());
+    ASSERT_TRUE(e.at("ph").is_string());
+    ASSERT_TRUE(e.at("pid").is_number());
+    ASSERT_TRUE(e.at("tid").is_number());
+    const int pid = static_cast<int>(e.at("pid").number);
+    const int tid = static_cast<int>(e.at("tid").number);
+    const std::string& ph = e.at("ph").string;
+    if (ph == "M") {
+      if (e.at("name").string == "process_name") {
+        process_names[pid] = e.at("args").at("name").string;
+      } else if (e.at("name").string == "thread_name") {
+        thread_names[{pid, tid}] = e.at("args").at("name").string;
+      }
+      continue;
+    }
+    ASSERT_TRUE(e.at("ts").is_number());
+    if (ph == "X") {
+      ASSERT_TRUE(e.at("dur").is_number());
+      EXPECT_GE(e.at("dur").number, 0.0);
+      spans_per_lane[{pid, tid}].push_back(
+          {e.at("ts").number, e.at("dur").number});
+    }
+  }
+
+  // Lane mapping: both ECUs became processes; task lanes and the update
+  // lane are threads of their ECU's process.
+  std::set<std::string> names;
+  for (const auto& [pid, name] : process_names) names.insert(name);
+  EXPECT_TRUE(names.count("A"));
+  EXPECT_TRUE(names.count("B"));
+  bool update_lane_in_a = false;
+  bool task_lane_in_a = false;
+  for (const auto& [key, thread] : thread_names) {
+    const std::string& process = process_names[key.first];
+    if (thread == "A/update") {
+      update_lane_in_a = true;
+      EXPECT_EQ(process, "A");
+    }
+    if (thread == "A/work" || thread == "A/Producer") task_lane_in_a = true;
+  }
+  EXPECT_TRUE(update_lane_in_a);
+  (void)task_lane_in_a;  // lane names are "<cpu>/<task>"; presence varies
+
+  // Task execution slices and update phases must nest per lane.
+  std::size_t total_spans = 0;
+  for (auto& [lane, spans] : spans_per_lane) {
+    total_spans += spans.size();
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.ts < b.ts; });
+    expect_properly_nested(spans);
+  }
+  EXPECT_GT(total_spans, 20u);  // task slices + frames + update phases
+
+  // The metrics side of the facade saw the run too.
+  obs::json::Value metrics;
+  ASSERT_TRUE(obs::json::parse(trace.metrics().snapshot_json(), &metrics));
+  EXPECT_TRUE(metrics.at("counters").size() > 0 ||
+              metrics.at("gauges").size() > 0);
+}
+
+}  // namespace
+}  // namespace dynaplat
