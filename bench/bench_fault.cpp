@@ -1,0 +1,301 @@
+// E13 -- Sec. 2.4/3.3: robustness under injected faults.
+//
+// Part A sweeps uniform frame loss against the middleware transport in
+// reliable (CRC32 + ack/retry) and fire-and-forget mode: delivered
+// fraction, retry count and wire overhead (frames per message, 3 data
+// fragments being the loss-free minimum).
+//
+// Part B sweeps the fault-campaign seed against a triple-ECU platform with
+// a replicated DA app under supervision: events injected, failovers, worst
+// failover outage, and whether the fail-operational invariants held. Every
+// row is reproducible from its seed alone.
+//
+// Machine-readable results go to BENCH_fault.json following the
+// BENCH_monitor.json pattern so successive PRs accumulate a trajectory.
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fault/campaign.hpp"
+#include "fault/invariants.hpp"
+#include "middleware/transport.hpp"
+#include "model/parser.hpp"
+#include "net/ethernet.hpp"
+#include "platform/platform.hpp"
+#include "platform/redundancy.hpp"
+
+using namespace dynaplat;
+
+namespace {
+
+// --- Part A: transport under uniform loss -------------------------------------
+
+struct TransportOutcome {
+  double loss = 0.0;
+  bool reliable = false;
+  int sent = 0;
+  int delivered = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t delivery_failures = 0;
+  std::uint64_t frames_on_wire = 0;
+  double frames_per_message = 0.0;
+};
+
+TransportOutcome run_transport(double loss, bool reliable) {
+  sim::Simulator simulator;
+  middleware::TransportConfig config;
+  config.reliable = reliable;
+  config.ack_timeout = 10 * sim::kMillisecond;
+  config.max_retries = 5;
+  config.max_backoff = 80 * sim::kMillisecond;
+
+  // Deterministic Bernoulli loss on every frame (data and acks alike);
+  // the seed folds in the sweep point so rows are independent but stable.
+  std::mt19937_64 rng(0xFA177ull ^ static_cast<std::uint64_t>(loss * 1000) ^
+                      (reliable ? 0x1000000ull : 0ull));
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  TransportOutcome outcome;
+  outcome.loss = loss;
+  outcome.reliable = reliable;
+
+  std::unique_ptr<middleware::Transport> a;
+  std::unique_ptr<middleware::Transport> b;
+  auto wire = [&](middleware::Transport* peer, net::NodeId src) {
+    return [&, peer, src](net::Frame frame) {
+      frame.src = src;
+      ++outcome.frames_on_wire;
+      if (coin(rng) < loss) return;  // lost in flight
+      simulator.schedule_in(10 * sim::kMicrosecond,
+                            [peer, frame] { peer->on_frame(frame); });
+    };
+  };
+  a = std::make_unique<middleware::Transport>(
+      [&](net::Frame frame) { wire(b.get(), 1)(std::move(frame)); }, 16,
+      &simulator, config);
+  b = std::make_unique<middleware::Transport>(
+      [&](net::Frame frame) { wire(a.get(), 2)(std::move(frame)); }, 16,
+      &simulator, config);
+  b->set_handler([&outcome](net::NodeId, std::vector<std::uint8_t>) {
+    ++outcome.delivered;
+  });
+
+  constexpr int kMessages = 200;
+  const std::vector<std::uint8_t> message(25, 0x5A);  // 3 fragments
+  for (int i = 0; i < kMessages; ++i) {
+    simulator.schedule_at(static_cast<sim::Time>(i) * 5 * sim::kMillisecond,
+                          [&a, &message, i] {
+                            a->send(2, net::kPriorityLowest,
+                                    static_cast<std::uint16_t>(i % 7),
+                                    message);
+                          });
+  }
+  simulator.run_until(sim::seconds(3));
+
+  outcome.sent = kMessages;
+  outcome.retries = a->retries();
+  outcome.delivery_failures = a->delivery_failures();
+  outcome.frames_per_message =
+      static_cast<double>(outcome.frames_on_wire) / kMessages;
+  return outcome;
+}
+
+// --- Part B: campaign seed sweep ----------------------------------------------
+
+const char* kSystem = R"(
+network Net kind=ethernet bitrate=100M
+ecu A mips=1000 memory=64M asil=D network=Net
+ecu B mips=1000 memory=64M asil=D network=Net
+ecu C mips=1000 memory=64M asil=D network=Net
+interface Cmd paradigm=event payload=8 period=10ms
+app Pilot class=deterministic asil=D memory=4M replicas=2
+  task drive period=10ms wcet=100K priority=1
+  provides Cmd
+deploy Pilot -> A | B | C
+)";
+
+class PilotApp final : public platform::Application {
+ public:
+  void on_task(const std::string&) override {
+    ++step_;
+    if (!active() || context_.def->provides.empty()) return;
+    context_.comm->publish(context_.service_id(context_.def->provides[0]), 1,
+                           {static_cast<std::uint8_t>(step_)},
+                           context_.priority_of(context_.def->provides[0]));
+  }
+  std::vector<std::uint8_t> serialize_state() override {
+    return {static_cast<std::uint8_t>(step_)};
+  }
+  void restore_state(const std::vector<std::uint8_t>& state) override {
+    if (!state.empty()) step_ = state[0];
+  }
+
+ private:
+  std::uint64_t step_ = 0;
+};
+
+struct CampaignOutcome {
+  std::uint64_t seed = 0;
+  std::size_t injected = 0;
+  std::size_t failovers = 0;
+  double worst_outage_ms = 0.0;
+  bool invariants_passed = false;
+  std::string report;
+  std::uint64_t fingerprint = 0;
+  double wall_ms = 0.0;
+};
+
+CampaignOutcome run_campaign(std::uint64_t seed) {
+  bench::Stopwatch watch;
+  sim::Simulator simulator;
+  model::ParsedSystem parsed = model::parse_system(kSystem);
+  net::EthernetSwitch backbone(simulator, "eth", net::EthernetConfig{});
+  std::vector<std::unique_ptr<os::Ecu>> ecus;
+  net::NodeId next_node = 1;
+  for (const auto& ecu_def : parsed.model.ecus()) {
+    os::EcuConfig config;
+    config.name = ecu_def.name;
+    config.cpu.mips = ecu_def.mips;
+    config.memory_bytes = ecu_def.memory_bytes;
+    ecus.push_back(std::make_unique<os::Ecu>(simulator, config, &backbone,
+                                             next_node++, nullptr));
+  }
+  platform::NodeConfig node_config;
+  node_config.middleware.transport.reliable = true;
+  platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
+  for (auto& ecu : ecus) dp.add_node(*ecu, node_config);
+  dp.register_app("Pilot", [] { return std::make_unique<PilotApp>(); });
+  if (!dp.install_all()) return {};
+
+  platform::RedundancyManager redundancy(dp, "Pilot");
+  redundancy.engage();
+
+  fault::CampaignConfig campaign_config;
+  campaign_config.seed = seed;
+  campaign_config.start = 200 * sim::kMillisecond;
+  campaign_config.horizon = 3 * sim::kSecond;
+  campaign_config.episodes = 6;
+  campaign_config.weight_overrun = 0.0;  // no overrun targets registered
+  fault::FaultCampaign campaign(simulator, campaign_config);
+  for (auto& ecu : ecus) campaign.add_ecu(*ecu);
+  campaign.add_medium(backbone);
+  campaign.generate();
+  campaign.arm();
+
+  simulator.run_until(4 * sim::kSecond);
+
+  fault::InvariantChecker checker;
+  checker.require_failover_outage_below(redundancy,
+                                        300 * sim::kMillisecond);
+  checker.require_no_da_deadline_misses(dp);
+  // Detection limit: 3 missed heartbeats at 10 ms plus one supervisor tick.
+  checker.require_faults_detected(campaign, dp, &redundancy,
+                                  40 * sim::kMillisecond);
+  checker.require_no_stranded_reassembly(dp);
+
+  CampaignOutcome outcome;
+  outcome.seed = seed;
+  outcome.injected = campaign.injected().size();
+  outcome.failovers = redundancy.failovers().size();
+  for (const platform::FailoverEvent& event : redundancy.failovers()) {
+    outcome.worst_outage_ms =
+        std::max(outcome.worst_outage_ms, sim::to_ms(event.outage));
+  }
+  const fault::InvariantReport report = checker.run();
+  outcome.invariants_passed = report.passed;
+  outcome.report = report.summary();
+  outcome.fingerprint = campaign.fingerprint();
+  outcome.wall_ms = watch.elapsed_ms();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E13", "fault campaigns & reliable transport (Sec. 2.4/3.3)");
+
+  std::printf("\n-- transport under uniform frame loss --\n");
+  bench::Table loss_table({"loss_pct", "mode", "delivered", "retries",
+                           "delivery_failures", "frames_per_msg"});
+  std::vector<TransportOutcome> transport_samples;
+  for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    for (bool reliable : {false, true}) {
+      const TransportOutcome outcome = run_transport(loss, reliable);
+      loss_table.row({bench::fmt(loss * 100, 0),
+                      reliable ? "reliable" : "best-effort",
+                      bench::fmt(outcome.delivered) + "/" +
+                          bench::fmt(outcome.sent),
+                      bench::fmt(outcome.retries),
+                      bench::fmt(outcome.delivery_failures),
+                      bench::fmt(outcome.frames_per_message, 2)});
+      transport_samples.push_back(outcome);
+    }
+  }
+
+  std::printf("\n-- campaign seed sweep (replicated DA app, 6 episodes) --\n");
+  bench::Table seed_table({"seed", "injected", "failovers", "worst_outage_ms",
+                           "invariants", "fingerprint", "wall_ms"});
+  std::vector<CampaignOutcome> campaign_samples;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CampaignOutcome outcome = run_campaign(seed);
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(outcome.fingerprint));
+    seed_table.row({bench::fmt(outcome.seed), bench::fmt(outcome.injected),
+                    bench::fmt(outcome.failovers),
+                    bench::fmt(outcome.worst_outage_ms, 1),
+                    outcome.invariants_passed ? "PASS" : "FAIL", fp,
+                    bench::fmt(outcome.wall_ms, 1)});
+    if (!outcome.invariants_passed) {
+      std::printf("%s\n", outcome.report.c_str());
+    }
+    campaign_samples.push_back(outcome);
+  }
+
+  std::FILE* f = std::fopen("BENCH_fault.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fault.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E13_fault_robustness\",\n");
+  std::fprintf(f, "  \"transport_loss_sweep\": [\n");
+  for (std::size_t i = 0; i < transport_samples.size(); ++i) {
+    const TransportOutcome& s = transport_samples[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"loss\": %.2f,\n", s.loss);
+    std::fprintf(f, "      \"reliable\": %s,\n", s.reliable ? "true" : "false");
+    std::fprintf(f, "      \"sent\": %d,\n", s.sent);
+    std::fprintf(f, "      \"delivered\": %d,\n", s.delivered);
+    std::fprintf(f, "      \"retries\": %llu,\n",
+                 static_cast<unsigned long long>(s.retries));
+    std::fprintf(f, "      \"delivery_failures\": %llu,\n",
+                 static_cast<unsigned long long>(s.delivery_failures));
+    std::fprintf(f, "      \"frames_per_message\": %.3f\n",
+                 s.frames_per_message);
+    std::fprintf(f, "    }%s\n", i + 1 < transport_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"campaign_seed_sweep\": [\n");
+  for (std::size_t i = 0; i < campaign_samples.size(); ++i) {
+    const CampaignOutcome& s = campaign_samples[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(s.seed));
+    std::fprintf(f, "      \"events_injected\": %zu,\n", s.injected);
+    std::fprintf(f, "      \"failovers\": %zu,\n", s.failovers);
+    std::fprintf(f, "      \"worst_outage_ms\": %.3f,\n", s.worst_outage_ms);
+    std::fprintf(f, "      \"invariants_passed\": %s,\n",
+                 s.invariants_passed ? "true" : "false");
+    std::fprintf(f, "      \"fingerprint\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(s.fingerprint));
+    std::fprintf(f, "      \"wall_ms\": %.2f\n", s.wall_ms);
+    std::fprintf(f, "    }%s\n", i + 1 < campaign_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_fault.json\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "fault/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynaplat::fault {
+
+std::string InvariantReport::summary() const {
+  std::ostringstream out;
+  out << (passed ? "PASS" : "FAIL") << " (" << results.size()
+      << " invariants)";
+  for (const InvariantResult& result : results) {
+    out << "\n  [" << (result.passed ? "ok" : "VIOLATED") << "] "
+        << result.name;
+    if (!result.detail.empty()) out << ": " << result.detail;
+  }
+  return out.str();
+}
+
+void InvariantChecker::add(std::string name, Check check) {
+  checks_.emplace_back(std::move(name), std::move(check));
+}
+
+void InvariantChecker::require_failover_outage_below(
+    const platform::RedundancyManager& rm, sim::Duration bound) {
+  add("failover_outage_below_bound", [&rm, bound](std::string& detail) {
+    for (const platform::FailoverEvent& event : rm.failovers()) {
+      if (event.outage > bound) {
+        std::ostringstream out;
+        out << "outage " << event.outage << "ns > bound " << bound
+            << "ns (promoted at " << event.promoted_at << "ns)";
+        detail = out.str();
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void InvariantChecker::require_no_da_deadline_misses(
+    platform::DynamicPlatform& platform) {
+  add("zero_da_deadline_misses", [&platform](std::string& detail) {
+    for (const std::string& ecu_name : platform.node_names()) {
+      platform::PlatformNode* node = platform.node(ecu_name);
+      if (node == nullptr) continue;
+      for (const std::string& label : node->running_instances()) {
+        const platform::AppInstance* inst = node->instance(label);
+        if (inst == nullptr ||
+            inst->def.app_class != model::AppClass::kDeterministic) {
+          continue;
+        }
+        const os::Processor& cpu = node->ecu().processor(inst->core);
+        for (os::TaskId task : inst->tasks) {
+          // A crash-rebuilt processor no longer knows pre-crash tasks;
+          // the surviving replicas carry the deadline claim.
+          if (!cpu.has_task(task)) continue;
+          const std::uint64_t misses = cpu.stats(task).deadline_misses;
+          if (misses > 0) {
+            std::ostringstream out;
+            out << label << " on " << ecu_name << ": " << misses
+                << " deadline miss(es)";
+            detail = out.str();
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  });
+}
+
+void InvariantChecker::require_faults_detected(
+    const FaultCampaign& campaign, platform::DynamicPlatform& platform,
+    const platform::RedundancyManager* rm, sim::Duration detection_window) {
+  add("injected_faults_detected",
+      [&campaign, &platform, rm, detection_window](std::string& detail) {
+        const std::vector<std::string> replicas =
+            rm != nullptr ? rm->replica_ecus() : std::vector<std::string>{};
+        // Reconstruct which replica led at time t from the failover log:
+        // rank 0 leads initially, each failover hands over to new_primary.
+        const auto primary_at = [&](sim::Time t) -> std::string {
+          std::string primary = replicas.empty() ? std::string{} : replicas[0];
+          for (const platform::FailoverEvent& failover : rm->failovers()) {
+            if (failover.detected_at > t) break;
+            for (const std::string& name : replicas) {
+              platform::PlatformNode* node = platform.node(name);
+              if (node != nullptr &&
+                  node->ecu().node_id() == failover.new_primary) {
+                primary = name;
+                break;
+              }
+            }
+          }
+          return primary;
+        };
+        for (const FaultEvent& event : campaign.injected()) {
+          if (event.kind == FaultKind::kTaskOverrun) {
+            // Target label is "<ecu>/<task>"; the ECU's monitor must have
+            // raised at least one fault after the injection.
+            const std::string ecu_name =
+                event.target.substr(0, event.target.find('/'));
+            platform::PlatformNode* node = platform.node(ecu_name);
+            if (node == nullptr) continue;
+            const auto& faults = node->monitor().faults();
+            const bool seen = std::any_of(
+                faults.begin(), faults.end(),
+                [&event](const monitor::FaultRecord& record) {
+                  return record.at >= event.at;
+                });
+            if (!seen) {
+              detail = "task overrun on " + event.target +
+                       " produced no monitor fault";
+              return false;
+            }
+          } else if (event.kind == FaultKind::kEcuCrash && rm != nullptr) {
+            if (event.target != primary_at(event.at)) {
+              continue;  // standby or non-replica crash: no failover expected
+            }
+            if (detection_window > 0) {
+              // A crash healed inside the detection window never starved
+              // the standbys of enough heartbeats to react.
+              bool blip = false;
+              for (const FaultEvent& other : campaign.injected()) {
+                if (other.kind == FaultKind::kEcuRestart &&
+                    other.target == event.target && other.at >= event.at) {
+                  blip = other.at - event.at <= detection_window;
+                  break;
+                }
+              }
+              if (blip) continue;
+            }
+            const auto& failovers = rm->failovers();
+            const bool seen = std::any_of(
+                failovers.begin(), failovers.end(),
+                [&event](const platform::FailoverEvent& failover) {
+                  return failover.detected_at >= event.at;
+                });
+            if (!seen) {
+              detail = "crash of replica ECU " + event.target +
+                       " triggered no failover";
+              return false;
+            }
+          }
+        }
+        return true;
+      });
+}
+
+void InvariantChecker::require_no_stranded_reassembly(
+    platform::DynamicPlatform& platform) {
+  add("no_stranded_reassembly", [&platform](std::string& detail) {
+    for (const std::string& ecu_name : platform.node_names()) {
+      platform::PlatformNode* node = platform.node(ecu_name);
+      if (node == nullptr) continue;
+      const std::size_t partials = node->comm().transport().partial_count();
+      if (partials > 0) {
+        std::ostringstream out;
+        out << ecu_name << " holds " << partials
+            << " partial reassembly buffer(s)";
+        detail = out.str();
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+InvariantReport InvariantChecker::run() const {
+  InvariantReport report;
+  report.passed = true;
+  for (const auto& [name, check] : checks_) {
+    InvariantResult result;
+    result.name = name;
+    result.passed = check(result.detail);
+    if (!result.passed) report.passed = false;
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace dynaplat::fault

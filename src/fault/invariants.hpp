@@ -1,0 +1,88 @@
+// Campaign invariant checker: machine-checked fail-operational properties.
+//
+// A fault campaign is only evidence if the run is judged against explicit
+// invariants — the properties the platform claims to uphold *under* faults
+// (paper Sec. 3.3/3.4: fail-operational behaviour, runtime monitoring as
+// certification input). The checker evaluates its registered invariants at
+// end of run and produces a verdict per invariant plus an overall pass.
+//
+// Built-in invariants:
+//   - failover outage below a bound (RedundancyManager timeline),
+//   - zero deadline misses for deterministic (DA) applications,
+//   - every injected, detectable fault was observed by the platform
+//     (task overruns -> runtime-monitor faults; replica-ECU crashes ->
+//     failover events),
+//   - no stranded reassembly state in any node's transport (TTL eviction
+//     actually reclaimed partial messages).
+//
+// Custom invariants compose via add(); all checks are deterministic reads
+// of simulation state, so verdicts are reproducible along with the run.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "platform/platform.hpp"
+#include "platform/redundancy.hpp"
+
+namespace dynaplat::fault {
+
+struct InvariantResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;  ///< violation description, empty when passed
+};
+
+struct InvariantReport {
+  bool passed = false;
+  std::vector<InvariantResult> results;
+  std::string summary() const;
+};
+
+class InvariantChecker {
+ public:
+  /// A check returns true on pass; on failure it describes the violation
+  /// through `detail`.
+  using Check = std::function<bool(std::string& detail)>;
+
+  void add(std::string name, Check check);
+
+  /// Every observed failover completed within `bound` of the last
+  /// heartbeat (outage = silence + promotion latency).
+  void require_failover_outage_below(const platform::RedundancyManager& rm,
+                                     sim::Duration bound);
+
+  /// Deterministic (DA) apps never missed a deadline: every running DA
+  /// instance's tasks report zero misses. Tasks lost to an ECU crash are
+  /// skipped (their processor was rebuilt); surviving replicas are the
+  /// ones carrying the claim.
+  void require_no_da_deadline_misses(platform::DynamicPlatform& platform);
+
+  /// Every injected detectable fault was observed by the platform:
+  /// kTaskOverrun -> a runtime-monitor fault on the targeted ECU at or
+  /// after the injection; kEcuCrash of the then-primary replica -> a
+  /// failover event detected at or after the crash (pass `rm` as nullptr
+  /// to skip crash correlation). A primary crash whose matching restart
+  /// lands within `detection_window` is excused: it healed before the
+  /// standbys' staggered heartbeat timeout could possibly fire, so "no
+  /// failover" is the correct outcome, not a missed detection. Pass the
+  /// supervision limit (missed_for_failover * heartbeat_period plus one
+  /// supervisor tick); 0 demands a failover for every primary crash.
+  void require_faults_detected(const FaultCampaign& campaign,
+                               platform::DynamicPlatform& platform,
+                               const platform::RedundancyManager* rm,
+                               sim::Duration detection_window = 0);
+
+  /// No node's transport holds partial reassembly state at end of run.
+  void require_no_stranded_reassembly(platform::DynamicPlatform& platform);
+
+  /// Evaluates all registered invariants.
+  InvariantReport run() const;
+
+ private:
+  std::vector<std::pair<std::string, Check>> checks_;
+};
+
+}  // namespace dynaplat::fault

@@ -11,7 +11,8 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
       config_(config),
       transport_([&ecu](net::Frame frame) { ecu.send(std::move(frame)); },
                  ecu.medium() != nullptr ? ecu.medium()->max_payload()
-                                         : 1500) {
+                                         : 1500,
+                 &ecu.simulator(), config.transport) {
   ecu_.set_receive_handler(
       [this](const net::Frame& frame) { transport_.on_frame(frame); });
   transport_.set_handler(
@@ -27,6 +28,7 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
     failed_calls_counter_ = &metrics.counter(prefix + "failed_calls");
     call_latency_ns_ = &metrics.histogram(prefix + "call_latency_ns");
     bind_latency_ns_ = &metrics.histogram(prefix + "bind_latency_ns");
+    transport_.set_metrics(metrics, prefix + "transport.");
   }
 }
 
@@ -110,6 +112,25 @@ void ServiceRuntime::require_version(ServiceId service,
     providers_.erase(service);
     provider_versions_.erase(version);
   }
+}
+
+void ServiceRuntime::rebind(ServiceId service) {
+  if (offered_.count(service) > 0) return;  // still the provider of record
+  providers_.erase(service);
+  provider_versions_.erase(service);
+  when_provider_known(service, [this, service] {
+    const auto provider = provider_of(service);
+    if (!provider || *provider == ecu_.node_id()) return;
+    for (auto& [key, sub] : subscriptions_) {
+      if (key.first != service) continue;
+      MessageHeader header;
+      header.type = MsgType::kSubscribe;
+      header.service = key.first;
+      header.element = key.second;
+      send_message(*provider, header, {}, net::kPriorityHighest);
+      sub.subscribed_remotely = true;
+    }
+  });
 }
 
 void ServiceRuntime::when_provider_known(ServiceId service,

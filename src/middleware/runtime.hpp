@@ -48,6 +48,10 @@ struct RuntimeConfig {
   sim::Duration call_timeout = 100 * sim::kMillisecond;
   /// How long a Find waits for an Offer before parked work fails.
   sim::Duration find_timeout = 200 * sim::kMillisecond;
+  /// Segmentation/reassembly + reliability knobs (TTL eviction, CRC32 +
+  /// ack/retry reliable mode). Enable `transport.reliable` on every node of
+  /// a platform at once — the flag changes the unicast wire format.
+  TransportConfig transport;
 };
 
 using EventHandler =
@@ -87,6 +91,13 @@ class ServiceRuntime {
   /// older version are ignored (the binding never forms — uncertainty
   /// about interface evolution is contained at discovery time).
   void require_version(ServiceId service, std::uint32_t min_version);
+
+  /// Crash-restart recovery: forgets the learned provider of `service` and
+  /// re-runs discovery, re-sending Subscribe for every local subscription
+  /// once the (possibly relocated) provider answers the Find. A node that
+  /// was dead while the service failed over rejoins the new provider
+  /// instead of trusting its stale binding.
+  void rebind(ServiceId service);
   std::uint64_t stale_offers_ignored() const { return stale_offers_; }
 
   // --- Event paradigm ----------------------------------------------------------
@@ -163,6 +174,16 @@ class ServiceRuntime {
   std::uint64_t failed_calls() const { return failed_calls_; }
   net::NodeId node() const { return ecu_.node_id(); }
   os::Ecu& ecu() { return ecu_; }
+
+  /// The segmentation/reliability layer (retry/CRC/eviction statistics).
+  Transport& transport() { return transport_; }
+  const Transport& transport() const { return transport_; }
+
+  /// Invoked when a reliable message exhausts its retries (bounded-retry
+  /// error surface; also counted in transport().delivery_failures()).
+  void set_delivery_failure_handler(DeliveryFailureHandler handler) {
+    transport_.set_delivery_failure_handler(std::move(handler));
+  }
 
  private:
   struct Subscription {

@@ -1,15 +1,65 @@
 #include "middleware/transport.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace dynaplat::middleware {
 
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 Transport::Transport(std::function<void(net::Frame)> send_frame,
-                     std::size_t max_frame_payload)
+                     std::size_t max_frame_payload, sim::Simulator* simulator,
+                     TransportConfig config)
     : send_frame_(std::move(send_frame)),
-      max_frame_payload_(max_frame_payload) {
+      max_frame_payload_(max_frame_payload),
+      sim_(simulator),
+      config_(config) {
   assert(max_frame_payload_ > kFragmentHeader &&
          "medium payload too small for fragment header");
+  if (sim_ != nullptr && config_.reassembly_ttl > 0) {
+    sweep_timer_ = sim_->schedule_every(
+        sim_->now() + config_.reassembly_ttl, config_.reassembly_ttl,
+        [this] { evict_stale(); });
+  }
+}
+
+Transport::~Transport() {
+  if (sim_ == nullptr) return;
+  sim_->cancel(sweep_timer_);
+  for (auto& [id, pending] : pending_reliable_) sim_->cancel(pending.timer);
+}
+
+void Transport::set_metrics(obs::MetricsRegistry& metrics,
+                            const std::string& prefix) {
+  evictions_counter_ = &metrics.counter(prefix + "reassembly_evictions");
+  retries_counter_ = &metrics.counter(prefix + "retries");
+  crc_failures_counter_ = &metrics.counter(prefix + "crc_failures");
+  duplicates_counter_ = &metrics.counter(prefix + "duplicates_suppressed");
+  delivery_failures_counter_ = &metrics.counter(prefix + "delivery_failures");
 }
 
 std::size_t Transport::fragments_for(std::size_t size) const {
@@ -17,13 +67,11 @@ std::size_t Transport::fragments_for(std::size_t size) const {
   return size == 0 ? 1 : (size + chunk - 1) / chunk;
 }
 
-void Transport::send(net::NodeId dst, net::Priority priority,
-                     std::uint32_t flow_id,
-                     const std::vector<std::uint8_t>& message) {
+void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
+                               net::Priority priority, std::uint32_t flow_id,
+                               const std::vector<std::uint8_t>& message) {
   const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
   const std::size_t count = fragments_for(message.size());
-  const std::uint16_t id = next_message_id_++;
-  ++messages_sent_;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t begin = i * chunk;
     const std::size_t end = std::min(begin + chunk, message.size());
@@ -45,7 +93,150 @@ void Transport::send(net::NodeId dst, net::Priority priority,
   }
 }
 
+void Transport::send(net::NodeId dst, net::Priority priority,
+                     std::uint32_t flow_id,
+                     const std::vector<std::uint8_t>& message) {
+  const std::uint16_t id = next_message_id_++;
+  if (next_message_id_ == 0) next_message_id_ = 1;  // 0 never used
+  ++messages_sent_;
+  const bool reliable =
+      config_.reliable && sim_ != nullptr && dst != net::kBroadcast;
+  if (!reliable) {
+    send_fragments(id, dst, priority, flow_id, message);
+    return;
+  }
+  // Reliable: append the end-to-end CRC, remember the message for
+  // retransmission, arm the ack timer.
+  PendingReliable pending;
+  pending.dst = dst;
+  pending.priority = priority;
+  pending.flow_id = flow_id;
+  pending.message = message;
+  const std::uint32_t crc = crc32(message.data(), message.size());
+  pending.message.push_back(static_cast<std::uint8_t>(crc));
+  pending.message.push_back(static_cast<std::uint8_t>(crc >> 8));
+  pending.message.push_back(static_cast<std::uint8_t>(crc >> 16));
+  pending.message.push_back(static_cast<std::uint8_t>(crc >> 24));
+  pending.backoff = config_.ack_timeout;
+  auto [it, inserted] = pending_reliable_.insert_or_assign(id, std::move(pending));
+  (void)inserted;
+  send_fragments(id, dst, priority, flow_id, it->second.message);
+  arm_retry(id);
+}
+
+void Transport::arm_retry(std::uint16_t id) {
+  auto it = pending_reliable_.find(id);
+  if (it == pending_reliable_.end()) return;
+  PendingReliable& pending = it->second;
+  pending.timer = sim_->schedule_in(pending.backoff, [this, id] {
+    auto it = pending_reliable_.find(id);
+    if (it == pending_reliable_.end()) return;  // acked meanwhile
+    PendingReliable& pending = it->second;
+    if (pending.retries >= config_.max_retries) {
+      ++delivery_failures_;
+      if (delivery_failures_counter_ != nullptr) {
+        delivery_failures_counter_->add();
+      }
+      const net::NodeId dst = pending.dst;
+      pending_reliable_.erase(it);
+      if (on_delivery_failure_) on_delivery_failure_(dst, id);
+      return;
+    }
+    ++pending.retries;
+    ++retries_;
+    if (retries_counter_ != nullptr) retries_counter_->add();
+    pending.backoff = std::min<sim::Duration>(
+        static_cast<sim::Duration>(static_cast<double>(pending.backoff) *
+                                   config_.backoff_factor),
+        config_.max_backoff);
+    send_fragments(id, pending.dst, pending.priority, pending.flow_id,
+                   pending.message);
+    arm_retry(id);
+  });
+}
+
+void Transport::send_ack(net::NodeId dst, std::uint16_t id) {
+  net::Frame frame;
+  frame.dst = dst;
+  frame.priority = net::kPriorityHighest;
+  frame.flow_id = 0;
+  frame.payload = {static_cast<std::uint8_t>(id),
+                   static_cast<std::uint8_t>(id >> 8),
+                   0, 0,   // control code 0 = ACK
+                   0, 0};  // count 0 marks a control frame
+  ++acks_sent_;
+  send_frame_(std::move(frame));
+}
+
+void Transport::on_ack(std::uint16_t id) {
+  auto it = pending_reliable_.find(id);
+  if (it == pending_reliable_.end()) return;  // duplicate / late ack
+  if (sim_ != nullptr) sim_->cancel(it->second.timer);
+  pending_reliable_.erase(it);
+}
+
+void Transport::evict_stale() {
+  if (sim_ == nullptr || config_.reassembly_ttl == 0) return;
+  const sim::Time now = sim_->now();
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (now - it->second.last_update > config_.reassembly_ttl) {
+      ++reassembly_failures_;
+      ++reassembly_evictions_;
+      if (evictions_counter_ != nullptr) evictions_counter_->add();
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Transport::remember_delivery(net::NodeId src, std::uint16_t id) {
+  PeerHistory& history = delivered_history_[src];
+  if (history.ids.count(id) > 0) return false;  // duplicate
+  history.ids.insert(id);
+  history.order.push_back(id);
+  while (history.order.size() > config_.dedup_window) {
+    history.ids.erase(history.order.front());
+    history.order.pop_front();
+  }
+  return true;
+}
+
+void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
+                         std::vector<std::uint8_t> message) {
+  const bool reliable = config_.reliable && sim_ != nullptr && unicast;
+  if (reliable) {
+    if (message.size() < kCrcTrailer) {
+      ++reassembly_failures_;
+      return;
+    }
+    const std::size_t body = message.size() - kCrcTrailer;
+    const std::uint32_t expected =
+        static_cast<std::uint32_t>(message[body]) |
+        static_cast<std::uint32_t>(message[body + 1]) << 8 |
+        static_cast<std::uint32_t>(message[body + 2]) << 16 |
+        static_cast<std::uint32_t>(message[body + 3]) << 24;
+    if (crc32(message.data(), body) != expected) {
+      // Corrupt: no ack, the sender's retry delivers a clean copy.
+      ++crc_failures_;
+      if (crc_failures_counter_ != nullptr) crc_failures_counter_->add();
+      ++reassembly_failures_;
+      return;
+    }
+    message.resize(body);
+    send_ack(src, id);
+    if (!remember_delivery(src, id)) {
+      ++duplicates_suppressed_;
+      if (duplicates_counter_ != nullptr) duplicates_counter_->add();
+      return;
+    }
+  }
+  ++messages_received_;
+  if (handler_) handler_(src, std::move(message));
+}
+
 void Transport::on_frame(const net::Frame& frame) {
+  evict_stale();
   if (frame.payload.size() < kFragmentHeader) {
     ++reassembly_failures_;
     return;
@@ -56,18 +247,24 @@ void Transport::on_frame(const net::Frame& frame) {
       frame.payload[2] | (frame.payload[3] << 8));
   const std::uint16_t count = static_cast<std::uint16_t>(
       frame.payload[4] | (frame.payload[5] << 8));
-  if (count == 0 || index >= count) {
+  if (count == 0) {
+    // Control frame. Code 0 = ACK; unknown codes are ignored so the wire
+    // format can grow without breaking old receivers.
+    if (index == 0) on_ack(id);
+    return;
+  }
+  if (index >= count) {
     ++reassembly_failures_;
     return;
   }
+  const bool unicast = frame.dst != net::kBroadcast;
 
   // Fast path: single-fragment message.
   std::vector<std::uint8_t> body(
       frame.payload.begin() + static_cast<long>(kFragmentHeader),
       frame.payload.end());
   if (count == 1) {
-    ++messages_received_;
-    if (handler_) handler_(frame.src, std::move(body));
+    complete(frame.src, id, unicast, std::move(body));
     return;
   }
 
@@ -83,6 +280,8 @@ void Transport::on_frame(const net::Frame& frame) {
     ++reassembly_failures_;
   }
   PartialMessage& partial = it->second;
+  partial.last_update = sim_ != nullptr ? sim_->now() : 0;
+  partial.unicast = unicast;
   if (partial.fragments[index].empty()) ++partial.received;
   partial.fragments[index] = std::move(body);
 
@@ -91,9 +290,9 @@ void Transport::on_frame(const net::Frame& frame) {
     for (auto& fragment : partial.fragments) {
       message.insert(message.end(), fragment.begin(), fragment.end());
     }
+    const bool was_unicast = partial.unicast;
     partial_.erase(it);
-    ++messages_received_;
-    if (handler_) handler_(frame.src, std::move(message));
+    complete(frame.src, id, was_unicast, std::move(message));
   }
 }
 

@@ -7,15 +7,35 @@
 //
 // Fragment wire format (6-byte header per fragment):
 //   [u16 message id][u16 fragment index][u16 fragment count] payload...
+// A fragment count of 0 marks a control frame; index 0 is an ACK for
+// message id (empty payload).
+//
+// Two robustness layers ride on top (fault campaigns, ISSUE 3):
+//  * Stale-reassembly TTL: a partial message that stops receiving fragments
+//    (loss, sender death) is evicted after `reassembly_ttl` instead of
+//    stranding buffer memory forever. Evictions count as reassembly
+//    failures.
+//  * Reliable mode (opt-in, unicast only): the sender appends a CRC32 over
+//    the whole message, the receiver acks CRC-valid reassembly, and the
+//    sender retries on ack timeout with capped exponential backoff.
+//    Duplicate deliveries created by retries are suppressed via a bounded
+//    per-peer window of recently delivered ids; exhausted retries surface
+//    through an error callback and a counter. Broadcast traffic (service
+//    discovery) stays fire-and-forget — ack implosion is worse than a lost
+//    Offer, which discovery already repairs with Find retries.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "net/medium.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
 
 namespace dynaplat::middleware {
 
@@ -23,12 +43,38 @@ namespace dynaplat::middleware {
 using MessageHandler =
     std::function<void(net::NodeId src, std::vector<std::uint8_t> message)>;
 
+/// Invoked when a reliable message exhausts its retries.
+using DeliveryFailureHandler =
+    std::function<void(net::NodeId dst, std::uint16_t message_id)>;
+
+struct TransportConfig {
+  /// Evict a partial reassembly untouched for this long (0 = never).
+  sim::Duration reassembly_ttl = 500 * sim::kMillisecond;
+  /// Reliable unicast: CRC32 + ack + retry.
+  bool reliable = false;
+  sim::Duration ack_timeout = 20 * sim::kMillisecond;
+  int max_retries = 5;
+  double backoff_factor = 2.0;
+  sim::Duration max_backoff = 200 * sim::kMillisecond;
+  /// Recently delivered message ids remembered per peer (duplicate
+  /// suppression window).
+  std::size_t dedup_window = 64;
+};
+
+/// IEEE 802.3 CRC32 (reflected, 0xEDB88320), the end-to-end integrity check
+/// of the reliable transport. Exposed for tests.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
 class Transport {
  public:
   /// `send_frame` submits one frame towards the medium (the Ecu's send path,
   /// so failure gating applies). Incoming frames are fed via on_frame().
+  /// `simulator` powers TTL eviction and retry timers; without one (legacy
+  /// unit-test construction) both features are inert.
   Transport(std::function<void(net::Frame)> send_frame,
-            std::size_t max_frame_payload);
+            std::size_t max_frame_payload, sim::Simulator* simulator = nullptr,
+            TransportConfig config = {});
+  ~Transport();
 
   /// Fragments and sends a message. flow_id groups fragments of one logical
   /// flow for media-level arbitration (e.g. the CAN id).
@@ -39,6 +85,12 @@ class Transport {
   void on_frame(const net::Frame& frame);
 
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+  void set_delivery_failure_handler(DeliveryFailureHandler handler) {
+    on_delivery_failure_ = std::move(handler);
+  }
+
+  /// Registers obs counters under `prefix` (e.g. "mw.EcuA.transport.").
+  void set_metrics(obs::MetricsRegistry& metrics, const std::string& prefix);
 
   /// Number of frames one message of `size` bytes costs on this medium.
   std::size_t fragments_for(std::size_t size) const;
@@ -46,25 +98,88 @@ class Transport {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_received() const { return messages_received_; }
   std::uint64_t reassembly_failures() const { return reassembly_failures_; }
+  std::uint64_t reassembly_evictions() const { return reassembly_evictions_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t crc_failures() const { return crc_failures_; }
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  std::uint64_t delivery_failures() const { return delivery_failures_; }
+  /// In-flight reliable messages awaiting ack.
+  std::size_t pending_reliable() const { return pending_reliable_.size(); }
+  /// Partial reassemblies currently buffered (0 after TTL sweeps when all
+  /// traffic completed or aged out — the "no stranded memory" invariant).
+  std::size_t partial_count() const { return partial_.size(); }
+
+  const TransportConfig& config() const { return config_; }
 
   static constexpr std::size_t kFragmentHeader = 6;
+  static constexpr std::size_t kCrcTrailer = 4;
 
  private:
   struct PartialMessage {
     std::vector<std::vector<std::uint8_t>> fragments;
     std::size_t received = 0;
+    sim::Time last_update = 0;
+    bool unicast = false;  // candidate for CRC check + ack in reliable mode
   };
+
+  struct PendingReliable {
+    net::NodeId dst = 0;
+    net::Priority priority = net::kPriorityLowest;
+    std::uint32_t flow_id = 0;
+    std::vector<std::uint8_t> message;  // includes CRC trailer
+    int retries = 0;
+    sim::Duration backoff = 0;
+    sim::EventId timer;
+  };
+
+  struct PeerHistory {
+    std::deque<std::uint16_t> order;
+    std::set<std::uint16_t> ids;
+  };
+
+  void send_fragments(std::uint16_t id, net::NodeId dst,
+                      net::Priority priority, std::uint32_t flow_id,
+                      const std::vector<std::uint8_t>& message);
+  void send_ack(net::NodeId dst, std::uint16_t id);
+  void on_ack(std::uint16_t id);
+  void arm_retry(std::uint16_t id);
+  void complete(net::NodeId src, std::uint16_t id, bool unicast,
+                std::vector<std::uint8_t> message);
+  void evict_stale();
+  bool remember_delivery(net::NodeId src, std::uint16_t id);
 
   std::function<void(net::Frame)> send_frame_;
   std::size_t max_frame_payload_;
+  sim::Simulator* sim_;
+  TransportConfig config_;
   MessageHandler handler_;
+  DeliveryFailureHandler on_delivery_failure_;
   std::uint16_t next_message_id_ = 1;
   // Keyed by (src node, message id). Stale partials are evicted when the
-  // same sender reuses an id (16-bit wrap) — bounded memory.
+  // same sender reuses an id (16-bit wrap) or when the TTL expires.
   std::map<std::pair<net::NodeId, std::uint16_t>, PartialMessage> partial_;
+  std::map<std::uint16_t, PendingReliable> pending_reliable_;
+  std::map<net::NodeId, PeerHistory> delivered_history_;
+  // Periodic TTL sweep: inbound frames also sweep, but a quiescent link
+  // would otherwise strand its last partial forever.
+  sim::EventId sweep_timer_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_received_ = 0;
   std::uint64_t reassembly_failures_ = 0;
+  std::uint64_t reassembly_evictions_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t crc_failures_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t delivery_failures_ = 0;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* crc_failures_counter_ = nullptr;
+  obs::Counter* duplicates_counter_ = nullptr;
+  obs::Counter* delivery_failures_counter_ = nullptr;
 };
 
 }  // namespace dynaplat::middleware

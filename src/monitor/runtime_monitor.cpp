@@ -60,7 +60,9 @@ void RuntimeMonitor::raise(const std::string& subject, const std::string& kind,
         .counter("monitor." + ecu_.name() + ".faults." + kind)
         .add();
   }
-  if (sink_) sink_(record);
+  for (const auto& sink : sinks_) {
+    if (sink) sink(record);
+  }
   faults_.push_back(std::move(record));
 }
 
@@ -69,9 +71,7 @@ void RuntimeMonitor::sample() {
   ++samples_taken_;
   for (auto& [task_id, watch] : watches_) {
     const Contract& contract = watch.contract;
-    os::Processor& cpu = contract.processor != nullptr
-                             ? *contract.processor
-                             : ecu_.processor();
+    os::Processor& cpu = ecu_.processor(contract.core);
     if (!cpu.has_task(task_id)) {
       continue;  // task removed (update in progress); contract dormant
     }
@@ -134,9 +134,7 @@ std::string RuntimeMonitor::certification_report() const {
   os << "# task period_ns deadline_ns resp_mean_ns resp_p99_ns resp_max_ns "
         "misses completions faults\n";
   for (const auto& [task_id, watch] : watches_) {
-    const os::Processor& cpu = watch.contract.processor != nullptr
-                                   ? *watch.contract.processor
-                                   : ecu_.processor();
+    const os::Processor& cpu = ecu_.processor(watch.contract.core);
     if (!cpu.has_task(task_id)) continue;
     const auto& stats = cpu.stats(task_id);
     std::size_t fault_count = 0;

@@ -38,8 +38,10 @@ struct MonitorConfig {
 /// The monitored contract of one deterministic task, drawn from the model.
 struct Contract {
   os::TaskId task = os::kInvalidTask;
-  /// Core hosting the task; nullptr means the ECU's core 0.
-  os::Processor* processor = nullptr;
+  /// Core hosting the task (index into the ECU's processors). Resolved at
+  /// sample time: an ECU crash/restart rebuilds its processors, so a
+  /// cached Processor pointer would dangle.
+  std::size_t core = 0;
   std::string name;
   sim::Duration period = 0;
   sim::Duration deadline = 0;
@@ -79,9 +81,18 @@ class RuntimeMonitor {
   const std::vector<FaultRecord>& faults() const { return faults_; }
 
   /// "If an internet connection is available, transfer to the manufacturer":
-  /// a sink invoked on each fault (e.g. the backend uplink).
+  /// a sink invoked on each fault (e.g. the backend uplink). Replaces all
+  /// previously registered sinks.
   void set_report_sink(std::function<void(const FaultRecord&)> sink) {
-    sink_ = std::move(sink);
+    sinks_.clear();
+    sinks_.push_back(std::move(sink));
+  }
+
+  /// Registers an additional sink without displacing existing ones (several
+  /// platform services — diagnostics uplink, degradation manager — may each
+  /// need to observe faults).
+  void add_report_sink(std::function<void(const FaultRecord&)> sink) {
+    sinks_.push_back(std::move(sink));
   }
 
   /// Sampling passes executed (cost accounting for E10).
@@ -106,7 +117,7 @@ class RuntimeMonitor {
   MonitorConfig config_;
   std::map<os::TaskId, Watch> watches_;
   std::vector<FaultRecord> faults_;
-  std::function<void(const FaultRecord&)> sink_;
+  std::vector<std::function<void(const FaultRecord&)>> sinks_;
   sim::EventId sampler_;
   bool running_ = false;
   std::uint64_t samples_taken_ = 0;

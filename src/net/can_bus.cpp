@@ -47,7 +47,7 @@ std::size_t CanBus::queued() const {
 }
 
 void CanBus::send(Frame frame) {
-  if (inject_drop()) return;
+  if (inject_faults(frame)) return;
   assert(frame.payload.size() <= max_payload());
   frame.enqueued_at = sim_.now();
   frame.seq = seq_++;

@@ -40,7 +40,7 @@ void EthernetSwitch::set_gate_control(NodeId node, GateControlList gcl) {
 }
 
 void EthernetSwitch::send(Frame frame) {
-  if (inject_drop()) return;
+  if (inject_faults(frame)) return;
   assert(frame.payload.size() <= max_payload());
   frame.enqueued_at = sim_.now();
   frame.seq = seq_++;

@@ -24,7 +24,7 @@ void FlexRayBus::assign_static_slot(std::size_t slot, std::uint32_t flow_id) {
 }
 
 void FlexRayBus::send(Frame frame) {
-  if (inject_drop()) return;
+  if (inject_faults(frame)) return;
   frame.enqueued_at = sim_.now();
   frame.seq = seq_++;
   if (flow_slot_.count(frame.flow_id)) {

@@ -142,6 +142,12 @@ void Processor::submit(std::string name, std::uint64_t instructions,
   on_release(id);
 }
 
+void Processor::inject_overrun(TaskId id, double scale) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.overrun_scale = scale > 0.0 ? scale : 1.0;
+}
+
 void Processor::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
   assert(scheduler != nullptr);
   scheduler_ = std::move(scheduler);
@@ -149,7 +155,7 @@ void Processor::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
 }
 
 sim::Duration Processor::sample_execution_time(const TaskState& task) {
-  double factor = 1.0;
+  double factor = task.overrun_scale;
   const double jitter = task.config.execution_jitter;
   if (jitter > 0.0) factor += rng_.uniform(-jitter, jitter);
   const auto instructions = static_cast<std::uint64_t>(

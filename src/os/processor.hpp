@@ -58,6 +58,12 @@ class Processor {
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   Scheduler& scheduler() { return *scheduler_; }
 
+  /// Fault injection (src/fault): scales the execution time of the task's
+  /// future jobs by `scale` (> 1 models an overrun — cache thrash, lock
+  /// contention, a latent bug). 1.0 restores nominal behaviour.
+  void inject_overrun(TaskId id, double scale);
+  void clear_overrun(TaskId id) { inject_overrun(id, 1.0); }
+
   const TaskStats& stats(TaskId id) const;
   const TaskConfig& config(TaskId id) const;
   bool has_task(TaskId id) const { return tasks_.count(id) > 0; }
@@ -82,6 +88,7 @@ class Processor {
     sim::EventId recurrence;
     std::uint64_t release_count = 0;
     std::uint32_t trace_source = 0;  // interned "<core>/<task>" lane id
+    double overrun_scale = 1.0;      // fault-injected execution inflation
     bool one_shot = false;
     bool removed = false;  // deferred removal while a job is in flight
   };

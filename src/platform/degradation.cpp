@@ -1,0 +1,164 @@
+#include "platform/degradation.hpp"
+
+#include <algorithm>
+
+namespace dynaplat::platform {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kOk: return "OK";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kLimpHome: return "LIMP_HOME";
+  }
+  return "?";
+}
+
+DegradationManager::DegradationManager(DynamicPlatform& platform,
+                                       DegradationConfig config)
+    : platform_(platform), config_(config) {}
+
+DegradationManager::~DegradationManager() { disengage(); }
+
+void DegradationManager::engage() {
+  if (engaged_) return;
+  engaged_ = true;
+  for (const std::string& name : platform_.node_names()) {
+    PlatformNode* node = platform_.node(name);
+    if (node == nullptr) continue;
+    health_[name];  // ensure an entry so state() reports kOk immediately
+    node->monitor().add_report_sink(
+        [this, name](const monitor::FaultRecord& record) {
+          auto it = health_.find(name);
+          if (it == health_.end()) return;
+          it->second.fault_times.push_back(record.at);
+          it->second.last_fault = record.at;
+        });
+  }
+  evaluator_ = platform_.simulator().schedule_every(
+      platform_.simulator().now() + config_.evaluation_period,
+      config_.evaluation_period, [this] { evaluate(); });
+}
+
+void DegradationManager::disengage() {
+  if (!engaged_) return;
+  engaged_ = false;
+  platform_.simulator().cancel(evaluator_);
+  evaluator_ = {};
+}
+
+HealthState DegradationManager::state(const std::string& ecu_name) const {
+  auto it = health_.find(ecu_name);
+  return it == health_.end() ? HealthState::kOk : it->second.state;
+}
+
+void DegradationManager::report_heartbeat_loss(const std::string& ecu_name) {
+  EcuHealth& health = health_[ecu_name];
+  if (health.state == HealthState::kLimpHome) return;
+  transition(ecu_name, health, HealthState::kLimpHome, "heartbeat_loss");
+}
+
+void DegradationManager::reset(const std::string& ecu_name) {
+  auto it = health_.find(ecu_name);
+  if (it == health_.end() || it->second.state == HealthState::kOk) return;
+  it->second.fault_times.clear();
+  transition(ecu_name, it->second, HealthState::kOk, "reset");
+}
+
+void DegradationManager::evaluate() {
+  if (!engaged_) return;
+  const sim::Time now = platform_.simulator().now();
+  for (auto& [name, health] : health_) {
+    // Slide the fault window.
+    while (!health.fault_times.empty() &&
+           now - health.fault_times.front() > config_.fault_window) {
+      health.fault_times.pop_front();
+    }
+    const int recent = static_cast<int>(health.fault_times.size());
+    switch (health.state) {
+      case HealthState::kOk:
+        if (recent >= config_.faults_for_limp_home) {
+          transition(name, health, HealthState::kLimpHome, "monitor_faults");
+        } else if (recent >= config_.faults_for_degraded) {
+          transition(name, health, HealthState::kDegraded, "monitor_faults");
+        }
+        break;
+      case HealthState::kDegraded:
+        if (recent >= config_.faults_for_limp_home) {
+          transition(name, health, HealthState::kLimpHome, "monitor_faults");
+        } else if (recent == 0 &&
+                   now - health.last_fault > config_.recovery_window) {
+          transition(name, health, HealthState::kOk, "recovery");
+        }
+        break;
+      case HealthState::kLimpHome:
+        break;  // sticky until reset()
+    }
+  }
+}
+
+void DegradationManager::transition(const std::string& ecu_name,
+                                    EcuHealth& health, HealthState to,
+                                    const std::string& cause) {
+  HealthTransition event;
+  event.at = platform_.simulator().now();
+  event.ecu = ecu_name;
+  event.from = health.state;
+  event.to = to;
+  event.cause = cause;
+  health.state = to;
+  if (to == HealthState::kOk) {
+    restore_shed(ecu_name, health);
+  } else if (event.from == HealthState::kOk) {
+    // Entering any unhealthy state sheds the NDA load once; escalating
+    // kDegraded -> kLimpHome has nothing further to shed.
+    shed_nda(ecu_name, health);
+  }
+  trace_transition(event);
+  transitions_.push_back(std::move(event));
+}
+
+void DegradationManager::shed_nda(const std::string& ecu_name,
+                                  EcuHealth& health) {
+  PlatformNode* node = platform_.node(ecu_name);
+  if (node == nullptr) return;
+  for (const std::string& label : node->running_instances()) {
+    const AppInstance* inst = node->instance(label);
+    if (inst == nullptr ||
+        inst->def.app_class != model::AppClass::kNonDeterministic) {
+      continue;
+    }
+    node->stop(label);
+    health.shed_labels.push_back(label);
+    ++apps_shed_;
+  }
+}
+
+void DegradationManager::restore_shed(const std::string& ecu_name,
+                                      EcuHealth& health) {
+  PlatformNode* node = platform_.node(ecu_name);
+  if (node == nullptr) {
+    health.shed_labels.clear();
+    return;
+  }
+  for (const std::string& label : health.shed_labels) {
+    if (node->hosts(label) && node->start(label)) ++apps_restored_;
+  }
+  health.shed_labels.clear();
+}
+
+void DegradationManager::trace_transition(const HealthTransition& event) {
+  PlatformNode* node = platform_.node(event.ecu);
+  sim::Trace* trace = node != nullptr ? node->ecu().trace() : nullptr;
+  if (trace == nullptr) return;
+  if (trace->enabled(sim::TraceCategory::kFault)) {
+    trace->record(event.at, sim::TraceCategory::kFault,
+                  "degradation/" + event.ecu,
+                  std::string("state_") + to_string(event.to),
+                  static_cast<std::int64_t>(event.to));
+  }
+  trace->metrics()
+      .counter("degradation." + event.ecu + ".transitions")
+      .add();
+}
+
+}  // namespace dynaplat::platform

@@ -1,0 +1,112 @@
+// Graceful degradation (paper Sec. 3.3 "fail-operational").
+//
+// "The fail-safe state of an autonomous vehicle is not necessarily a safe
+// shutdown": when an ECU accumulates runtime-monitor faults or loses its
+// redundancy heartbeats, the platform must keep the deterministic (DA,
+// safety-relevant) applications alive and shed the non-deterministic (NDA)
+// comfort load that competes with them for CPU and bandwidth.
+//
+// The DegradationManager is the vehicle-wide health state machine:
+//
+//   kOk --------- >= faults_for_degraded in fault_window ------> kDegraded
+//   kOk/kDegraded  >= faults_for_limp_home, or heartbeat loss -> kLimpHome
+//   kDegraded ---- fault-free for recovery_window -------------> kOk
+//
+// Entering kDegraded or kLimpHome stops every running NDA instance on the
+// affected ECU (freedom from interference by subtraction); returning to kOk
+// restarts what was shed. kLimpHome is sticky — limp-home means "reach the
+// workshop", not "self-heal" — so only an explicit reset() clears it.
+//
+// Fault evidence arrives from each node's RuntimeMonitor (sink chained via
+// add_report_sink) and from external supervisors (report_heartbeat_loss,
+// typically wired to RedundancyManager failovers or a fault campaign's
+// invariant checker). All transitions are traced on the kFault category
+// under "degradation/<ecu>" so they land in the Perfetto fault lane.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace dynaplat::platform {
+
+enum class HealthState : std::uint8_t { kOk, kDegraded, kLimpHome };
+
+const char* to_string(HealthState state);
+
+struct DegradationConfig {
+  /// Monitor faults within fault_window that move an ECU kOk -> kDegraded.
+  int faults_for_degraded = 3;
+  /// Faults within fault_window that force kLimpHome (from any state).
+  int faults_for_limp_home = 10;
+  /// Sliding window over which faults are counted.
+  sim::Duration fault_window = 1 * sim::kSecond;
+  /// A degraded ECU that stays fault-free this long recovers to kOk.
+  sim::Duration recovery_window = 2 * sim::kSecond;
+  /// Health evaluation period (the state machine's clock tick).
+  sim::Duration evaluation_period = 50 * sim::kMillisecond;
+};
+
+struct HealthTransition {
+  sim::Time at = 0;
+  std::string ecu;
+  HealthState from = HealthState::kOk;
+  HealthState to = HealthState::kOk;
+  /// What triggered it: "monitor_faults" | "heartbeat_loss" | "recovery".
+  std::string cause;
+};
+
+class DegradationManager {
+ public:
+  DegradationManager(DynamicPlatform& platform, DegradationConfig config = {});
+  ~DegradationManager();
+
+  /// Chains into every registered node's monitor and starts the periodic
+  /// health evaluation. Call after all add_node()s.
+  void engage();
+  void disengage();
+
+  /// External escalation: redundancy heartbeats from `ecu_name` were lost.
+  /// Moves the ECU straight to kLimpHome.
+  void report_heartbeat_loss(const std::string& ecu_name);
+
+  /// Clears a sticky kLimpHome verdict (vehicle serviced / operator reset)
+  /// back to kOk and restores shed applications.
+  void reset(const std::string& ecu_name);
+
+  HealthState state(const std::string& ecu_name) const;
+  const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
+  }
+  std::uint64_t apps_shed() const { return apps_shed_; }
+  std::uint64_t apps_restored() const { return apps_restored_; }
+
+ private:
+  struct EcuHealth {
+    HealthState state = HealthState::kOk;
+    std::deque<sim::Time> fault_times;  ///< within fault_window, oldest first
+    sim::Time last_fault = 0;
+    std::vector<std::string> shed_labels;  ///< NDA instances stopped by us
+  };
+
+  void evaluate();
+  void transition(const std::string& ecu_name, EcuHealth& health,
+                  HealthState to, const std::string& cause);
+  void shed_nda(const std::string& ecu_name, EcuHealth& health);
+  void restore_shed(const std::string& ecu_name, EcuHealth& health);
+  void trace_transition(const HealthTransition& event);
+
+  DynamicPlatform& platform_;
+  DegradationConfig config_;
+  std::map<std::string, EcuHealth> health_;
+  std::vector<HealthTransition> transitions_;
+  sim::EventId evaluator_;
+  std::uint64_t apps_shed_ = 0;
+  std::uint64_t apps_restored_ = 0;
+  bool engaged_ = false;
+};
+
+}  // namespace dynaplat::platform

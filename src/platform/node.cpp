@@ -158,17 +158,21 @@ void PlatformNode::bind_tasks(AppInstance& inst) {
 
 void PlatformNode::watch_tasks(AppInstance& inst) {
   if (!config_.monitoring) return;
-  if (inst.def.app_class != model::AppClass::kDeterministic) return;
+  // DA apps carry strict contracts; NDA (QM) apps are watched too, with a
+  // looser miss budget — the degradation manager can only shed a
+  // misbehaving best-effort app if the monitor sees it misbehave.
+  const bool deterministic =
+      inst.def.app_class == model::AppClass::kDeterministic;
   for (std::size_t i = 0; i < inst.def.tasks.size(); ++i) {
     const auto& task_def = inst.def.tasks[i];
     monitor::Contract contract;
     contract.task = inst.tasks[i];
-    contract.processor = &ecu_.processor(inst.core);
+    contract.core = inst.core;
     contract.name = inst.label + "." + task_def.name;
     contract.period = task_def.period;
     contract.deadline =
         task_def.deadline > 0 ? task_def.deadline : task_def.period;
-    contract.max_miss_ratio = 0.01;
+    contract.max_miss_ratio = deterministic ? 0.01 : 0.05;
     contract.process = inst.process;
     contract.max_memory_bytes = inst.def.memory_bytes;
     monitor_->watch(contract);
@@ -298,6 +302,19 @@ void PlatformNode::promote(const std::string& label) {
     ecu_.trace()->record(ecu_.simulator().now(),
                          sim::TraceCategory::kPlatform, ecu_.name(),
                          "promote:" + label);
+  }
+}
+
+void PlatformNode::demote(const std::string& label) {
+  AppInstance* inst = instance(label);
+  if (inst == nullptr || !inst->app || !inst->app->active()) return;
+  inst->app->set_active(false);
+  withdraw_provided(*inst);
+  if (ecu_.trace() != nullptr &&
+      ecu_.trace()->enabled(sim::TraceCategory::kPlatform)) {
+    ecu_.trace()->record(ecu_.simulator().now(),
+                         sim::TraceCategory::kPlatform, ecu_.name(),
+                         "demote:" + label);
   }
 }
 

@@ -82,6 +82,12 @@ class PlatformNode {
   /// Sec. 3.3): flips the active flag and offers the provided interfaces.
   void promote(const std::string& label);
 
+  /// Demotes an active instance back to standby (the inverse of promote):
+  /// clears the active flag and withdraws its offers. Used when a failed
+  /// primary returns — the recovered replica must not reclaim services the
+  /// standby now owns.
+  void demote(const std::string& label);
+
   AppInstance* instance(const std::string& label);
   const AppInstance* instance(const std::string& label) const;
   std::vector<std::string> running_instances() const;

@@ -38,6 +38,13 @@ PlatformNode* DynamicPlatform::node(const std::string& ecu_name) {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::string> DynamicPlatform::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) names.push_back(name);
+  return names;
+}
+
 PlatformNode* DynamicPlatform::node_hosting(const std::string& app_label) {
   for (auto& [name, node] : nodes_) {
     if (node->hosts(app_label)) return node.get();

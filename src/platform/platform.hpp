@@ -49,6 +49,9 @@ class DynamicPlatform {
   PlatformNode& add_node(os::Ecu& ecu, NodeConfig config = {});
   PlatformNode* node(const std::string& ecu_name);
   PlatformNode* node_hosting(const std::string& app_label);
+  /// Names of every registered node (vehicle-wide iteration order is the
+  /// sorted ECU name, so traversals are deterministic).
+  std::vector<std::string> node_names() const;
 
   /// Registers an installable application version ("the app store").
   void register_app(const std::string& app_name, AppFactory factory);

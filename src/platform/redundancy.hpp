@@ -52,6 +52,9 @@ class RedundancyManager {
 
   /// ECU name of the replica currently owning the app's services.
   std::string current_primary() const;
+  /// ECU names of all replicas, rank order (invariant checkers correlate
+  /// injected crashes of these ECUs with observed failovers).
+  std::vector<std::string> replica_ecus() const;
   const std::vector<FailoverEvent>& failovers() const { return failovers_; }
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
 
@@ -71,6 +74,10 @@ class RedundancyManager {
   void supervise(std::size_t rank);
   void promote(std::size_t rank);
   std::size_t primary_rank() const;
+  /// Position of `rank` in the circular standby order behind the current
+  /// primary (1 = first in line). Staggered failover timeouts scale with
+  /// this, so exactly one standby wins no matter which replica leads.
+  std::size_t stagger_of(std::size_t rank) const;
 
   DynamicPlatform& platform_;
   std::string app_name_;
@@ -81,6 +88,7 @@ class RedundancyManager {
   sim::EventId heartbeat_timer_;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t heartbeat_seq_ = 0;
+  std::size_t active_rank_ = 0;  ///< rank currently leading (stagger anchor)
   bool engaged_ = false;
 };
 
