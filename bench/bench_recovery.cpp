@@ -1,0 +1,233 @@
+// E15 -- Sec. 2.3 + 3.3: transactional recovery vs greedy re-placement.
+//
+// A fleet of apps on three victim ECUs plus two loaded survivors; k of the
+// victims are killed at t = 2 s (staggered 30 ms apart). Two recovery
+// mechanisms are compared on identical topologies:
+//
+//   legacy        ReconfigurationManager -- greedy first-fit-decreasing,
+//                 per-app, no transaction, no soak.
+//   orchestrator  RecoveryOrchestrator -- whole-vehicle DSE remap, staged
+//                 apply in criticality order, soak window, whole-plan
+//                 rollback on failure.
+//
+// Reported per (killed, mode): recovered/stranded apps and recovery latency
+// (first fault -> last app re-hosted, including the orchestrator's soak).
+// Expected shape: identical recovery coverage while capacity lasts -- the
+// orchestrator pays its ~soak window of extra latency for atomicity -- and
+// when a victim dies *while a plan is being applied*, the orchestrator
+// rolls the half-applied plan back and re-plans against the new topology
+// instead of layering a second greedy repair on top of the first.
+//
+// Machine-readable results go to BENCH_recovery.json following the
+// BENCH_fault.json pattern so successive PRs accumulate a trajectory.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "model/parser.hpp"
+#include "net/ethernet.hpp"
+#include "platform/platform.hpp"
+#include "platform/reconfiguration.hpp"
+#include "platform/recovery.hpp"
+
+using namespace dynaplat;
+
+namespace {
+
+struct Outcome {
+  int killed = 0;
+  const char* mode = "";
+  int displaced = 0;
+  int recovered = 0;
+  int stranded = 0;
+  double latency_ms = -1.0;
+  int plans_committed = 0;
+  int plans_rolled_back = 0;
+};
+
+struct World {
+  model::ParsedSystem parsed;
+  sim::Simulator simulator;
+  std::unique_ptr<net::EthernetSwitch> backbone;
+  std::vector<std::unique_ptr<os::Ecu>> ecus;
+  std::unique_ptr<platform::DynamicPlatform> platform;
+};
+
+// 3 victim ECUs x 2 apps each (one deterministic, one best-effort), 2
+// survivors carrying base load. Candidate lists are permissive: they are
+// the recovery search space, admission control gates the actual placement.
+std::unique_ptr<World> build() {
+  std::string dsl =
+      "network Net kind=ethernet bitrate=100M\n"
+      "ecu V1 mips=1000 memory=256M asil=D network=Net\n"
+      "ecu V2 mips=1000 memory=256M asil=D network=Net\n"
+      "ecu V3 mips=1000 memory=256M asil=D network=Net\n"
+      "ecu S1 mips=1000 memory=256M asil=D network=Net\n"
+      "ecu S2 mips=1000 memory=256M asil=D network=Net\n";
+  for (int v = 1; v <= 3; ++v) {
+    const std::string id = std::to_string(v);
+    dsl += "app Ctl" + id +
+           " class=deterministic asil=D memory=4M\n"
+           "  task t period=10ms wcet=2000K priority=1\n";  // 0.20 util
+    dsl += "app Aux" + id +
+           " class=nondeterministic asil=QM memory=4M\n"
+           "  task t period=10ms wcet=1500K priority=3\n";  // 0.15 util
+    dsl += "deploy Ctl" + id + " -> V" + id + " | S1 | S2\n";
+    dsl += "deploy Aux" + id + " -> V" + id + " | S1 | S2\n";
+  }
+  for (const char* survivor : {"S1", "S2"}) {
+    dsl += std::string("app Base") + survivor +
+           " class=deterministic asil=B memory=4M\n"
+           "  task t period=10ms wcet=3000K priority=2\n";  // 0.30 util
+    dsl += std::string("deploy Base") + survivor + " -> " + survivor + "\n";
+  }
+
+  auto world = std::make_unique<World>();
+  world->parsed = model::parse_system(dsl);
+  world->backbone =
+      std::make_unique<net::EthernetSwitch>(world->simulator, "eth",
+                                            net::EthernetConfig{});
+  net::NodeId node_id = 1;
+  for (const auto& ecu_def : world->parsed.model.ecus()) {
+    os::EcuConfig config;
+    config.name = ecu_def.name;
+    config.cpu.mips = ecu_def.mips;
+    config.cores = ecu_def.cores;
+    config.memory_bytes = ecu_def.memory_bytes;
+    world->ecus.push_back(std::make_unique<os::Ecu>(
+        world->simulator, config, world->backbone.get(), node_id++));
+  }
+  platform::PlatformConfig platform_config;
+  platform_config.enforce_verification = false;
+  world->platform = std::make_unique<platform::DynamicPlatform>(
+      world->simulator, world->parsed.model, world->parsed.deployment,
+      platform_config);
+  for (auto& ecu : world->ecus) world->platform->add_node(*ecu);
+  for (const auto& app : world->parsed.model.apps()) {
+    world->platform->register_app(app.name, [] {
+      return std::make_unique<platform::Application>();
+    });
+  }
+  if (!world->platform->install_all()) return nullptr;
+  return world;
+}
+
+constexpr sim::Time kFirstFault = sim::seconds(2) + 7 * sim::kMillisecond;
+
+void schedule_kills(World& world, int killed) {
+  for (int v = 0; v < killed; ++v) {
+    world.simulator.schedule_at(kFirstFault + v * 30 * sim::kMillisecond,
+                                [&world, v] { world.ecus[v]->fail(); });
+  }
+}
+
+Outcome run_legacy(int killed) {
+  auto world = build();
+  if (!world) return {};
+  platform::ReconfigConfig config;
+  config.check_period = 50 * sim::kMillisecond;
+  platform::ReconfigurationManager reconfig(*world->platform, config);
+  reconfig.engage();
+  schedule_kills(*world, killed);
+  world->simulator.run_until(sim::seconds(10));
+
+  Outcome outcome;
+  outcome.killed = killed;
+  outcome.mode = "legacy";
+  outcome.displaced = 2 * killed;
+  sim::Time last = 0;
+  std::set<std::string> recovered;
+  for (const auto& migration : reconfig.migrations()) {
+    if (migration.success) {
+      recovered.insert(migration.app);
+      last = std::max(last, migration.at);
+    }
+  }
+  outcome.recovered = static_cast<int>(recovered.size());
+  outcome.stranded = static_cast<int>(reconfig.stranded().size());
+  if (!recovered.empty()) outcome.latency_ms = sim::to_ms(last - kFirstFault);
+  return outcome;
+}
+
+Outcome run_orchestrator(int killed) {
+  auto world = build();
+  if (!world) return {};
+  platform::RecoveryConfig config;
+  config.check_period = 50 * sim::kMillisecond;
+  config.dse_iterations = 1'000;
+  platform::RecoveryOrchestrator recovery(*world->platform, config);
+  recovery.engage();
+  schedule_kills(*world, killed);
+  world->simulator.run_until(sim::seconds(10));
+
+  Outcome outcome;
+  outcome.killed = killed;
+  outcome.mode = "orchestrator";
+  outcome.displaced = 2 * killed;
+  sim::Time last = 0;
+  std::set<std::string> recovered;
+  for (const auto& plan : recovery.plans()) {
+    if (plan.status == platform::PlanStatus::kCommitted) {
+      ++outcome.plans_committed;
+      for (const auto& step : plan.steps) recovered.insert(step.app);
+      last = std::max(last, plan.finished_at);
+    } else if (plan.status == platform::PlanStatus::kRolledBack) {
+      ++outcome.plans_rolled_back;
+    }
+  }
+  outcome.recovered = static_cast<int>(recovered.size());
+  outcome.stranded = static_cast<int>(recovery.stranded().size() +
+                                      recovery.abandoned().size());
+  if (!recovered.empty()) outcome.latency_ms = sim::to_ms(last - kFirstFault);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E15", "transactional recovery vs greedy (Sec. 2.3 + 3.3)");
+  std::vector<Outcome> samples;
+  for (int killed : {1, 2, 3}) {
+    samples.push_back(run_legacy(killed));
+    samples.push_back(run_orchestrator(killed));
+  }
+
+  bench::Table table({"killed", "mode", "displaced", "recovered", "stranded",
+                      "latency_ms", "committed", "rolled_back"});
+  for (const Outcome& s : samples) {
+    table.row({bench::fmt(s.killed), s.mode, bench::fmt(s.displaced),
+               bench::fmt(s.recovered), bench::fmt(s.stranded),
+               s.latency_ms < 0 ? "-" : bench::fmt(s.latency_ms, 0),
+               bench::fmt(s.plans_committed),
+               bench::fmt(s.plans_rolled_back)});
+  }
+
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_recovery.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E15_transactional_recovery\",\n");
+  std::fprintf(f, "  \"kill_sweep\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Outcome& s = samples[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"killed\": %d,\n", s.killed);
+    std::fprintf(f, "      \"mode\": \"%s\",\n", s.mode);
+    std::fprintf(f, "      \"displaced\": %d,\n", s.displaced);
+    std::fprintf(f, "      \"recovered\": %d,\n", s.recovered);
+    std::fprintf(f, "      \"stranded\": %d,\n", s.stranded);
+    std::fprintf(f, "      \"latency_ms\": %.1f,\n", s.latency_ms);
+    std::fprintf(f, "      \"plans_committed\": %d,\n", s.plans_committed);
+    std::fprintf(f, "      \"plans_rolled_back\": %d\n", s.plans_rolled_back);
+    std::fprintf(f, "    }%s\n", i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_recovery.json\n");
+  return 0;
+}

@@ -165,6 +165,52 @@ void InvariantChecker::require_no_stranded_reassembly(
   });
 }
 
+void InvariantChecker::require_plan_atomicity(
+    const platform::RecoveryOrchestrator& orchestrator) {
+  add("recovery_plan_atomicity", [&orchestrator](std::string& detail) {
+    if (orchestrator.plan_in_flight()) {
+      detail = "a recovery plan is still in flight at end of run";
+      return false;
+    }
+    for (const platform::RecoveryPlan& plan : orchestrator.plans()) {
+      if (plan.status != platform::PlanStatus::kCommitted &&
+          plan.status != platform::PlanStatus::kRolledBack) {
+        detail = "plan#" + std::to_string(plan.id) + " finished as " +
+                 platform::to_string(plan.status);
+        return false;
+      }
+      if (plan.status == platform::PlanStatus::kRolledBack &&
+          !plan.restored_exactly) {
+        detail = "plan#" + std::to_string(plan.id) +
+                 " rolled back but did not restore the pre-plan "
+                 "deployment exactly (" +
+                 plan.reason + ")";
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void InvariantChecker::require_recovery_latency_below(
+    const platform::RecoveryOrchestrator& orchestrator, sim::Duration bound) {
+  add("recovery_latency_below_bound", [&orchestrator,
+                                       bound](std::string& detail) {
+    for (const platform::RecoveryPlan& plan : orchestrator.plans()) {
+      if (plan.status != platform::PlanStatus::kCommitted) continue;
+      const sim::Duration latency = plan.finished_at - plan.fault_detected_at;
+      if (latency > bound) {
+        std::ostringstream out;
+        out << "plan#" << plan.id << " committed after " << latency
+            << "ns > bound " << bound << "ns";
+        detail = out.str();
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
 InvariantReport InvariantChecker::run() const {
   InvariantReport report;
   report.passed = true;

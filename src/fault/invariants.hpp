@@ -25,6 +25,7 @@
 
 #include "fault/campaign.hpp"
 #include "platform/platform.hpp"
+#include "platform/recovery.hpp"
 #include "platform/redundancy.hpp"
 
 namespace dynaplat::fault {
@@ -77,6 +78,20 @@ class InvariantChecker {
 
   /// No node's transport holds partial reassembly state at end of run.
   void require_no_stranded_reassembly(platform::DynamicPlatform& platform);
+
+  /// Recovery plans are atomic transactions: every finished plan either
+  /// committed or rolled back, no plan is still mid-flight at end of run,
+  /// and every rolled-back plan restored the journaled pre-plan deployment
+  /// bit-exactly.
+  void require_plan_atomicity(
+      const platform::RecoveryOrchestrator& orchestrator);
+
+  /// Every committed recovery plan finished within `bound` of the fault
+  /// being detected (the paper's bounded-outage claim applied to
+  /// whole-vehicle remaps).
+  void require_recovery_latency_below(
+      const platform::RecoveryOrchestrator& orchestrator,
+      sim::Duration bound);
 
   /// Evaluates all registered invariants.
   InvariantReport run() const;

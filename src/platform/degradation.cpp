@@ -57,6 +57,23 @@ void DegradationManager::report_heartbeat_loss(const std::string& ecu_name) {
   transition(ecu_name, health, HealthState::kLimpHome, "heartbeat_loss");
 }
 
+void DegradationManager::report_recovery_committed(
+    const std::string& ecu_name) {
+  auto it = health_.find(ecu_name);
+  if (it == health_.end() || it->second.state != HealthState::kDegraded) {
+    return;
+  }
+  it->second.fault_times.clear();
+  transition(ecu_name, it->second, HealthState::kOk, "recovery_plan");
+}
+
+void DegradationManager::report_recovery_exhausted(
+    const std::string& ecu_name) {
+  EcuHealth& health = health_[ecu_name];
+  if (health.state == HealthState::kLimpHome) return;
+  transition(ecu_name, health, HealthState::kLimpHome, "recovery_exhausted");
+}
+
 void DegradationManager::reset(const std::string& ecu_name) {
   auto it = health_.find(ecu_name);
   if (it == health_.end() || it->second.state == HealthState::kOk) return;

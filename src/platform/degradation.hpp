@@ -73,6 +73,17 @@ class DegradationManager {
   /// Moves the ECU straight to kLimpHome.
   void report_heartbeat_loss(const std::string& ecu_name);
 
+  /// A committed recovery plan re-hosted the load the ECU was degraded
+  /// over: a kDegraded verdict lifts back to kOk (cause "recovery_plan").
+  /// kLimpHome stays sticky — a plan does not substitute for a workshop.
+  void report_recovery_committed(const std::string& ecu_name);
+
+  /// The recovery orchestrator exhausted its retry budget for an app whose
+  /// home was `ecu_name`: the vehicle cannot self-heal that loss, so the
+  /// ECU's verdict escalates to sticky kLimpHome (cause
+  /// "recovery_exhausted").
+  void report_recovery_exhausted(const std::string& ecu_name);
+
   /// Clears a sticky kLimpHome verdict (vehicle serviced / operator reset)
   /// back to kOk and restores shed applications.
   void reset(const std::string& ecu_name);

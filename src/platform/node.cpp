@@ -362,6 +362,13 @@ const AppInstance* PlatformNode::instance(const std::string& label) const {
   return it == instances_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> PlatformNode::instance_labels() const {
+  std::vector<std::string> out;
+  out.reserve(instances_.size());
+  for (const auto& [label, inst] : instances_) out.push_back(label);
+  return out;
+}
+
 std::vector<std::string> PlatformNode::running_instances() const {
   std::vector<std::string> out;
   for (const auto& [label, inst] : instances_) {

@@ -91,6 +91,9 @@ class PlatformNode {
   AppInstance* instance(const std::string& label);
   const AppInstance* instance(const std::string& label) const;
   std::vector<std::string> running_instances() const;
+  /// Every hosted instance label (running or not), sorted — the raw
+  /// material for deployment snapshots (platform/recovery.hpp).
+  std::vector<std::string> instance_labels() const;
   bool hosts(const std::string& label) const {
     return instances_.count(label) > 0;
   }

@@ -84,6 +84,13 @@ void ReconfigurationManager::sweep() {
   if (!engaged_) return;
   previously_stranded_ = stranded_;
   stranded_.clear();
+  // Collect every displaced app first, then place heaviest-first
+  // (first-fit decreasing): greedy placement in declaration order packed
+  // small apps early and stranded the big ones fragmentation could no
+  // longer fit.
+  std::vector<std::pair<const model::AppDef*,
+                        const model::DeploymentDef::Binding*>>
+      displaced;
   for (const auto& binding : platform_.deployment().bindings) {
     const model::AppDef* def =
         platform_.system_model().app(binding.app);
@@ -91,6 +98,17 @@ void ReconfigurationManager::sweep() {
     // Replicated apps: the RedundancyManager owns their failover.
     if (def->replicas > 1) continue;
     if (alive_somewhere(def->name)) continue;
+    displaced.emplace_back(def, &binding);
+  }
+  std::stable_sort(displaced.begin(), displaced.end(),
+                   [](const auto& a, const auto& b) {
+                     // mips-independent ordering: same reference speed for
+                     // both sides.
+                     return a.first->utilization_on(1'000) >
+                            b.first->utilization_on(1'000);
+                   });
+  for (const auto& [def, binding_ptr] : displaced) {
+    const auto& binding = *binding_ptr;
 
     // Find the dead host (for reporting + exclusion).
     std::string dead_host;

@@ -74,6 +74,16 @@ void UpdateManager::staged_update(PlatformNode& node,
           done(*report);
           return;
         }
+        if (config.inject_failure_phase == 1) {
+          node.uninstall(new_label);
+          phase_mark(node, "phase1_shadow", false);
+          phase_mark(node, "update:staged", false);
+          report->success = false;
+          report->reason = "phase 1 rollback: injected fault";
+          report->finished = simulator.now();
+          done(*report);
+          return;
+        }
         phase_mark(node, "phase1_shadow", false);
         phase_mark(node, "warmup", true);
         // Phase 2 after warm-up: verify shadow health, then sync state.
@@ -112,22 +122,57 @@ void UpdateManager::staged_update(PlatformNode& node,
           const std::uint64_t sync_cost = 1'000 + 50ull * state.size();
           node.ecu().processor().submit(
               "state_sync", sync_cost, 9, os::TaskClass::kNonDeterministic,
-              [this, &node, current_label, new_label, done, report] {
+              [this, &node, current_label, new_label, config, done, report] {
                 auto& simulator = platform_.simulator();
                 phase_mark(node, "phase2_state_sync", false);
+                if (config.inject_failure_phase == 2) {
+                  node.uninstall(new_label);
+                  phase_mark(node, "update:staged", false);
+                  report->success = false;
+                  report->reason = "phase 2 rollback: injected fault";
+                  report->finished = simulator.now();
+                  done(*report);
+                  return;
+                }
                 // Phase 3: redirect traffic (atomic on this node).
                 report->phase_reached = 3;
                 phase_mark(node, "phase3_redirect", true);
                 node.redirect(current_label, new_label);
+                if (config.inject_failure_phase == 3) {
+                  // Undo the redirect in the same instant: ownership flips
+                  // back before any traffic could be lost.
+                  node.redirect(new_label, current_label);
+                  node.uninstall(new_label);
+                  phase_mark(node, "phase3_redirect", false);
+                  phase_mark(node, "update:staged", false);
+                  report->success = false;
+                  report->reason = "phase 3 rollback: injected fault";
+                  report->finished = simulator.now();
+                  done(*report);
+                  return;
+                }
                 phase_mark(node, "phase3_redirect", false);
                 // Phase 4: stop and remove the old version.
                 phase_mark(node, "phase4_stop_old", true);
                 simulator.schedule_in(sim::kMillisecond, [&node,
                                                           current_label,
-                                                          new_label, done,
-                                                          report,
+                                                          new_label, config,
+                                                          done, report,
                                                           this] {
                   report->phase_reached = 4;
+                  if (config.inject_failure_phase == 4) {
+                    // The old version is still installed: hand ownership
+                    // back and discard the new instance.
+                    node.redirect(new_label, current_label);
+                    node.uninstall(new_label);
+                    phase_mark(node, "phase4_stop_old", false);
+                    phase_mark(node, "update:staged", false);
+                    report->success = false;
+                    report->reason = "phase 4 rollback: injected fault";
+                    report->finished = platform_.simulator().now();
+                    done(*report);
+                    return;
+                  }
                   node.uninstall(current_label);
                   phase_mark(node, "phase4_stop_old", false);
                   phase_mark(node, "update:staged", false);
@@ -135,6 +180,170 @@ void UpdateManager::staged_update(PlatformNode& node,
                   report->success = true;
                   report->reason = "staged update complete";
                   report->ownership_gap = 0;  // redirect was atomic
+                  report->finished = platform_.simulator().now();
+                  done(*report);
+                });
+              });
+        });
+      });
+}
+
+void UpdateManager::staged_migration(PlatformNode& from,
+                                     const std::string& label,
+                                     PlatformNode& to, UpdateConfig config,
+                                     Done done) {
+  auto report = std::make_shared<UpdateReport>();
+  report->strategy = "staged_migration";
+  report->started = platform_.simulator().now();
+  report->serving_label = label;
+  const AppInstance* origin = from.instance(label);
+  if (origin == nullptr) {
+    report->success = false;
+    report->reason = "'" + label + "' not hosted on " + from.ecu().name();
+    report->finished = report->started;
+    done(*report);
+    return;
+  }
+  const model::AppDef def = origin->def;
+  report->app = def.name;
+  AppFactory factory = platform_.factory_for(def.name);
+  if (!factory) {
+    report->success = false;
+    report->reason = "no registered package for '" + def.name + "'";
+    report->finished = report->started;
+    done(*report);
+    return;
+  }
+  const std::string new_label = def.name;  // plain name on the target
+  phase_mark(to, "update:migration", true);
+  phase_mark(to, "pkg_verify", true);
+
+  // The target verifies/unpacks while the origin still serves.
+  to.ecu().processor().submit(
+      "pkg_verify", config.preinstall_instructions, 9,
+      os::TaskClass::kNonDeterministic,
+      [this, &from, &to, label, def, new_label, factory, config, done,
+       report]() mutable {
+        auto& simulator = platform_.simulator();
+        phase_mark(to, "pkg_verify", false);
+        // Phase 1: shadow instance on the target node.
+        report->phase_reached = 1;
+        phase_mark(to, "phase1_shadow", true);
+        std::string why;
+        if (!to.install(def, factory, &why) ||
+            !to.start(new_label, /*shadow=*/true)) {
+          phase_mark(to, "phase1_shadow", false);
+          phase_mark(to, "update:migration", false);
+          report->success = false;
+          report->reason = "phase 1 failed: " + why;
+          report->finished = simulator.now();
+          done(*report);
+          return;
+        }
+        if (config.inject_failure_phase == 1) {
+          to.uninstall(new_label);
+          phase_mark(to, "phase1_shadow", false);
+          phase_mark(to, "update:migration", false);
+          report->success = false;
+          report->reason = "phase 1 rollback: injected fault";
+          report->finished = simulator.now();
+          done(*report);
+          return;
+        }
+        phase_mark(to, "phase1_shadow", false);
+        phase_mark(to, "warmup", true);
+        simulator.schedule_in(config.parallel_warmup, [this, &from, &to,
+                                                       label, new_label,
+                                                       config, done,
+                                                       report] {
+          auto& simulator = platform_.simulator();
+          phase_mark(to, "warmup", false);
+          if (config.verify_phases && shadow_misses(to, new_label) > 0) {
+            to.uninstall(new_label);
+            phase_mark(to, "update:migration", false);
+            report->success = false;
+            report->reason = "phase 2 rollback: shadow missed deadlines";
+            report->finished = simulator.now();
+            done(*report);
+            return;
+          }
+          report->phase_reached = 2;
+          phase_mark(to, "phase2_state_sync", true);
+          AppInstance* old_inst = from.instance(label);
+          AppInstance* new_inst = to.instance(new_label);
+          if (old_inst == nullptr || new_inst == nullptr) {
+            to.uninstall(new_label);
+            phase_mark(to, "phase2_state_sync", false);
+            phase_mark(to, "update:migration", false);
+            report->success = false;
+            report->reason = "phase 2 failed: instance vanished";
+            report->finished = simulator.now();
+            done(*report);
+            return;
+          }
+          const auto state = old_inst->app->serialize_state();
+          new_inst->app->restore_state(state);
+          const std::uint64_t sync_cost = 1'000 + 50ull * state.size();
+          to.ecu().processor().submit(
+              "state_sync", sync_cost, 9, os::TaskClass::kNonDeterministic,
+              [this, &from, &to, label, new_label, config, done, report] {
+                auto& simulator = platform_.simulator();
+                phase_mark(to, "phase2_state_sync", false);
+                if (config.inject_failure_phase == 2) {
+                  to.uninstall(new_label);
+                  phase_mark(to, "update:migration", false);
+                  report->success = false;
+                  report->reason = "phase 2 rollback: injected fault";
+                  report->finished = simulator.now();
+                  done(*report);
+                  return;
+                }
+                // Phase 3: atomic cross-node ownership handover — the
+                // origin stops offering and the target takes over within
+                // one simulation instant, so ownership never gaps.
+                report->phase_reached = 3;
+                phase_mark(to, "phase3_handover", true);
+                from.demote(label);
+                to.promote(new_label);
+                if (config.inject_failure_phase == 3) {
+                  to.demote(new_label);
+                  from.promote(label);
+                  to.uninstall(new_label);
+                  phase_mark(to, "phase3_handover", false);
+                  phase_mark(to, "update:migration", false);
+                  report->success = false;
+                  report->reason = "phase 3 rollback: injected fault";
+                  report->finished = simulator.now();
+                  done(*report);
+                  return;
+                }
+                phase_mark(to, "phase3_handover", false);
+                // Phase 4: remove the origin instance.
+                phase_mark(to, "phase4_stop_origin", true);
+                simulator.schedule_in(sim::kMillisecond, [this, &from, &to,
+                                                          label, new_label,
+                                                          config, done,
+                                                          report] {
+                  report->phase_reached = 4;
+                  if (config.inject_failure_phase == 4) {
+                    to.demote(new_label);
+                    from.promote(label);
+                    to.uninstall(new_label);
+                    phase_mark(to, "phase4_stop_origin", false);
+                    phase_mark(to, "update:migration", false);
+                    report->success = false;
+                    report->reason = "phase 4 rollback: injected fault";
+                    report->finished = platform_.simulator().now();
+                    done(*report);
+                    return;
+                  }
+                  from.uninstall(label);
+                  phase_mark(to, "phase4_stop_origin", false);
+                  phase_mark(to, "update:migration", false);
+                  report->serving_label = new_label;
+                  report->success = true;
+                  report->reason = "staged migration complete";
+                  report->ownership_gap = 0;  // handover was atomic
                   report->finished = platform_.simulator().now();
                   done(*report);
                 });

@@ -39,6 +39,11 @@ struct UpdateConfig {
   bool verify_phases = true;
   /// Clock-sync error of the central_switch baseline.
   sim::Duration clock_error = 20 * sim::kMillisecond;
+  /// Fault injection for rollback testing: abort the staged protocol at
+  /// this phase (1..4) as if its health verification had failed there.
+  /// Every injected abort must leave the original instance serving with a
+  /// zero ownership gap and no shadow left on the node. 0 = off.
+  int inject_failure_phase = 0;
 };
 
 struct UpdateReport {
@@ -67,6 +72,17 @@ class UpdateManager {
   void staged_update(PlatformNode& node, const std::string& current_label,
                      model::AppDef new_def, AppFactory factory,
                      UpdateConfig config, Done done);
+
+  /// Cross-node variant of the staged protocol (the recovery
+  /// orchestrator's workhorse, Sec. 3.3): moves the instance serving
+  /// `label` on `from` to `to` through the same four phases — shadow on
+  /// the target, warm-up + health check, state sync, then an atomic
+  /// ownership handover (demote on `from`, promote on `to`) and removal
+  /// of the origin instance. Service ownership never gaps; any phase
+  /// failure leaves the origin instance serving and the target clean.
+  /// The migrated instance lands under the plain app name on `to`.
+  void staged_migration(PlatformNode& from, const std::string& label,
+                        PlatformNode& to, UpdateConfig config, Done done);
 
   /// Baseline: stop, verify, reinstall, restart.
   void stop_restart_update(PlatformNode& node,

@@ -348,6 +348,89 @@ TEST(StagedUpdate, RollsBackWhenShadowMissesDeadlines) {
   EXPECT_FALSE(node->hosts("Producer#v2"));
 }
 
+// Force the staged protocol to abort at every phase in turn: whatever the
+// phase, the rollback must leave the original instance serving (active,
+// zero ownership gap) with no shadow left behind on the node.
+class StagedUpdateRollback : public ::testing::TestWithParam<int> {};
+
+TEST_P(StagedUpdateRollback, InjectedPhaseFailureRevertsCleanly) {
+  UpdateWorld world;
+  UpdateManager updates(*world.platform);
+  UpdateConfig config;
+  config.inject_failure_phase = GetParam();
+  UpdateReport report;
+  updates.staged_update(*world.platform->node("A"), "Producer",
+                        world.v2_def(),
+                        [] { return std::make_unique<CounterApp>(); },
+                        config, [&](UpdateReport r) { report = r; });
+  world.simulator.run_until(sim::seconds(2));
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.reason.find("injected"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.phase_reached, GetParam());
+  EXPECT_EQ(report.serving_label, "Producer");
+  EXPECT_EQ(report.ownership_gap, 0);
+  auto* node = world.platform->node("A");
+  const AppInstance* old_inst = node->instance("Producer");
+  ASSERT_NE(old_inst, nullptr);
+  EXPECT_TRUE(old_inst->running);
+  EXPECT_TRUE(old_inst->app->active());
+  // No shadow leak: the v2 instance is fully gone.
+  EXPECT_FALSE(node->hosts("Producer#v2"));
+  EXPECT_EQ(node->instance_labels().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhases, StagedUpdateRollback,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(StagedMigration, MovesInstanceAcrossNodesWithoutGap) {
+  UpdateWorld world;
+  UpdateManager updates(*world.platform);
+  auto* a = world.platform->node("A");
+  const auto* origin = a->instance("Producer");
+  ASSERT_NE(origin, nullptr);
+  const std::uint64_t counted_before =
+      static_cast<const CounterApp*>(origin->app.get())->counter();
+  UpdateReport report;
+  updates.staged_migration(*a, "Producer", *world.platform->node("B"),
+                           UpdateConfig{},
+                           [&](UpdateReport r) { report = r; });
+  world.simulator.run_until(sim::seconds(2));
+  ASSERT_TRUE(report.success) << report.reason;
+  EXPECT_EQ(report.strategy, "staged_migration");
+  EXPECT_EQ(report.ownership_gap, 0);
+  EXPECT_FALSE(a->hosts("Producer"));
+  const AppInstance* moved = world.platform->node("B")->instance("Producer");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_TRUE(moved->running);
+  EXPECT_TRUE(moved->app->active());
+  // State travelled with the instance and kept advancing.
+  EXPECT_GT(static_cast<const CounterApp*>(moved->app.get())->counter(),
+            counted_before);
+}
+
+TEST(StagedMigration, InjectedFailureLeavesOriginServing) {
+  UpdateWorld world;
+  UpdateManager updates(*world.platform);
+  for (int phase = 1; phase <= 4; ++phase) {
+    UpdateConfig config;
+    config.inject_failure_phase = phase;
+    UpdateReport report;
+    updates.staged_migration(*world.platform->node("A"), "Producer",
+                             *world.platform->node("B"), config,
+                             [&](UpdateReport r) { report = r; });
+    world.simulator.run_until(world.simulator.now() + sim::seconds(2));
+    EXPECT_FALSE(report.success) << "phase " << phase;
+    EXPECT_EQ(report.ownership_gap, 0) << "phase " << phase;
+    const AppInstance* origin =
+        world.platform->node("A")->instance("Producer");
+    ASSERT_NE(origin, nullptr) << "phase " << phase;
+    EXPECT_TRUE(origin->app->active()) << "phase " << phase;
+    EXPECT_FALSE(world.platform->node("B")->hosts("Producer"))
+        << "phase " << phase;
+  }
+}
+
 TEST(StopRestartUpdate, IncursOwnershipGap) {
   UpdateWorld world;
   UpdateManager updates(*world.platform);
