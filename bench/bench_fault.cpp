@@ -12,12 +12,20 @@
 //
 // Machine-readable results go to BENCH_fault.json following the
 // BENCH_monitor.json pattern so successive PRs accumulate a trajectory.
+//
+// `bench_fault --sweep` instead runs a 32-seed campaign sweep through
+// sim::ScenarioSweep at 1 and 8 worker threads, checks that every per-seed
+// fingerprint (and the index-ordered merge) is bit-identical across thread
+// counts, reports the wall-clock speedup, and writes
+// BENCH_fault_sweep.json.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <random>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "concurrency/thread_pool.hpp"
 #include "fault/campaign.hpp"
 #include "fault/invariants.hpp"
 #include "middleware/transport.hpp"
@@ -25,6 +33,7 @@
 #include "net/ethernet.hpp"
 #include "platform/platform.hpp"
 #include "platform/redundancy.hpp"
+#include "sim/sweep.hpp"
 
 using namespace dynaplat;
 
@@ -147,9 +156,8 @@ struct CampaignOutcome {
   double wall_ms = 0.0;
 };
 
-CampaignOutcome run_campaign(std::uint64_t seed) {
+CampaignOutcome run_campaign(sim::Simulator& simulator, std::uint64_t seed) {
   bench::Stopwatch watch;
-  sim::Simulator simulator;
   model::ParsedSystem parsed = model::parse_system(kSystem);
   net::EthernetSwitch backbone(simulator, "eth", net::EthernetConfig{});
   std::vector<std::unique_ptr<os::Ecu>> ecus;
@@ -211,9 +219,97 @@ CampaignOutcome run_campaign(std::uint64_t seed) {
   return outcome;
 }
 
+// --- Sweep mode: parallel seed sweep on ScenarioSweep -------------------------
+
+struct SweepRun {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  std::vector<CampaignOutcome> outcomes;
+  std::uint64_t merged = 0;
+};
+
+SweepRun run_seed_sweep(std::size_t threads, std::size_t seeds) {
+  SweepRun result;
+  result.threads = threads;
+  sim::ScenarioSweep sweep({.seed = 1, .threads = threads});
+  bench::Stopwatch watch;
+  result.outcomes = sweep.run<CampaignOutcome>(
+      seeds, [](sim::ScenarioRun& run) {
+        return run_campaign(run.simulator, run.index + 1);
+      });
+  result.wall_ms = watch.elapsed_ms();
+  std::vector<std::uint64_t> fingerprints;
+  fingerprints.reserve(result.outcomes.size());
+  for (const CampaignOutcome& o : result.outcomes) {
+    fingerprints.push_back(o.fingerprint);
+  }
+  result.merged = sim::ScenarioSweep::merge_fingerprints(fingerprints);
+  return result;
+}
+
+int sweep_main() {
+  bench::banner("E13s", "parallel 32-seed campaign sweep (ScenarioSweep)");
+  constexpr std::size_t kSeeds = 32;
+
+  const SweepRun serial = run_seed_sweep(1, kSeeds);
+  const SweepRun parallel = run_seed_sweep(8, kSeeds);
+
+  bool identical = serial.merged == parallel.merged &&
+                   serial.outcomes.size() == parallel.outcomes.size();
+  for (std::size_t i = 0; identical && i < serial.outcomes.size(); ++i) {
+    identical = serial.outcomes[i].fingerprint ==
+                    parallel.outcomes[i].fingerprint &&
+                serial.outcomes[i].invariants_passed ==
+                    parallel.outcomes[i].invariants_passed;
+  }
+
+  bench::Table table({"threads", "seeds", "wall_ms", "merged_fingerprint",
+                      "invariants"});
+  for (const SweepRun* run : {&serial, &parallel}) {
+    std::size_t passed = 0;
+    for (const CampaignOutcome& o : run->outcomes) {
+      if (o.invariants_passed) ++passed;
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(run->merged));
+    table.row({bench::fmt(run->threads), bench::fmt(run->outcomes.size()),
+               bench::fmt(run->wall_ms, 1), fp,
+               bench::fmt(passed) + "/" + bench::fmt(run->outcomes.size())});
+  }
+  const double speedup = serial.wall_ms / parallel.wall_ms;
+  std::printf("\nper-seed fingerprints %s across thread counts; speedup %.2fx "
+              "(host has %zu hardware threads)\n",
+              identical ? "bit-identical" : "DIVERGED", speedup,
+              concurrency::ThreadPool::hardware_threads());
+  if (!identical) return 1;
+
+  std::FILE* f = std::fopen("BENCH_fault_sweep.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fault_sweep.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E13s_parallel_seed_sweep\",\n");
+  std::fprintf(f, "  \"seeds\": %zu,\n", kSeeds);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+               concurrency::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"merged_fingerprint\": \"%016llx\",\n",
+               static_cast<unsigned long long>(serial.merged));
+  std::fprintf(f, "  \"wall_ms_1_thread\": %.2f,\n", serial.wall_ms);
+  std::fprintf(f, "  \"wall_ms_8_threads\": %.2f,\n", parallel.wall_ms);
+  std::fprintf(f, "  \"speedup\": %.2f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_fault_sweep.json\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--sweep") == 0) return sweep_main();
   bench::banner("E13", "fault campaigns & reliable transport (Sec. 2.4/3.3)");
 
   std::printf("\n-- transport under uniform frame loss --\n");
@@ -239,7 +335,8 @@ int main() {
                            "invariants", "fingerprint", "wall_ms"});
   std::vector<CampaignOutcome> campaign_samples;
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const CampaignOutcome outcome = run_campaign(seed);
+    sim::Simulator simulator;
+    const CampaignOutcome outcome = run_campaign(simulator, seed);
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(outcome.fingerprint));

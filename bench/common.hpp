@@ -6,6 +6,7 @@
 // analysis/synthesis cost rather than simulated time.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <type_traits>
 #include <cstdio>
@@ -66,6 +67,62 @@ class Stopwatch {
 
 inline void banner(const char* experiment, const char* title) {
   std::printf("### %s -- %s\n", experiment, title);
+}
+
+// --- Noise-resistant repetition ---------------------------------------------
+//
+// Wall-clock numbers on a shared box jitter upward (preemption, frequency
+// scaling) but never downward below the true cost, so throughput-style
+// results report the *minimum* over N repetitions and latency-style results
+// report percentiles over the per-rep samples.
+
+/// p50/p95/max over a sample set (nearest-rank; empty input yields zeros).
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+inline Percentiles percentiles(std::vector<double> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  auto rank = [&](double q) {
+    const std::size_t n = samples.size();
+    std::size_t i = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (i >= n) i = n - 1;
+    return samples[i];
+  };
+  p.p50 = rank(0.50);
+  p.p95 = rank(0.95);
+  p.max = samples.back();
+  return p;
+}
+
+/// Runs `fn` `reps` times and returns every per-rep wall time in ms.
+template <typename Fn>
+inline std::vector<double> repeat_ms(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.elapsed_ms());
+  }
+  return samples;
+}
+
+/// Best-of-N wall time in ms — the standard throughput measurement.
+template <typename Fn>
+inline double min_elapsed_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    const double ms = watch.elapsed_ms();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
 }
 
 }  // namespace dynaplat::bench

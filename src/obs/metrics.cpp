@@ -49,13 +49,11 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double v) {
-  std::size_t bucket = bounds_.size();  // overflow by default
-  for (std::size_t i = 0; i < bounds_.size(); ++i) {
-    if (v <= bounds_[i]) {
-      bucket = i;
-      break;
-    }
-  }
+  // First bound >= v, i.e. the first bucket whose inclusive upper bound
+  // admits v; bounds_ is sorted, so binary search. end() (NaN included —
+  // every comparison is false) lands in the overflow bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_, v);

@@ -1,0 +1,113 @@
+// Small-buffer-optimized move-only callable, the event kernel's callback
+// type.
+//
+// std::function heap-allocates any callable bigger than ~2 pointers and
+// demands copyability; the event kernel schedules millions of lambdas that
+// capture a handful of pointers and values, so both costs land on the
+// hottest path in the whole codebase. InlineFunction stores callables up to
+// kInlineCapacity bytes directly inside the event slab node (no allocation,
+// no pointer chase on invoke) and falls back to the heap only for oversized
+// captures. Move-only: the kernel never copies a callback — recurrences
+// re-arm in place (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dynaplat::sim {
+
+class InlineFunction {
+ public:
+  /// Captures up to this many bytes live inline in the event node. Sized so
+  /// a typical kernel callback — a `this` pointer plus a few ids/values —
+  /// never allocates.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(s));
+        if (op == Op::kMove) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn** slot = std::launder(reinterpret_cast<Fn**>(s));
+        if (op == Op::kMove) {
+          ::new (dst) Fn*(*slot);  // steal the heap object
+        } else {
+          delete *slot;
+        }
+        // the pointer itself is trivially destructible
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type F would be stored without allocating.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineCapacity &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, other.storage_, storage_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(Op, void* src, void* move_dst) = nullptr;
+};
+
+}  // namespace dynaplat::sim

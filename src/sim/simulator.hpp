@@ -9,19 +9,31 @@
 // order (FIFO tie-break by a monotonically increasing sequence number). This
 // makes a scenario a pure function of (models, seed), which DESIGN.md relies
 // on for backend schedule validation.
+//
+// Internals (DESIGN.md §10): events live as slab-allocated nodes in a
+// chunked free-list pool — node addresses are stable, callbacks up to
+// InlineFunction::kInlineCapacity bytes are stored inline in the node, and
+// steady-state scheduling performs no heap allocation. Ordering is an
+// index-tracked 4-ary min-heap of slot indices over the slab, so cancel()
+// removes the event immediately in O(log n): no tombstones, no lazy-deletion
+// scans in step()/run_until(), and a cancel-heavy workload (acked retry
+// timers) cannot grow the queue. EventIds carry a per-slot generation
+// counter, so a stale handle — to an event that already fired, was
+// cancelled, or whose slot was reused — is detected and cancel() safely
+// no-ops. Recurrences re-arm in place with zero callback copies.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace dynaplat::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Generation-checked: a handle outliving its event stays safe to cancel().
 struct EventId {
   std::uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -37,15 +49,17 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, InlineFunction fn) {
+    return enqueue(at, 0, std::move(fn));
+  }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
-  EventId schedule_in(Duration delay, std::function<void()> fn);
+  EventId schedule_in(Duration delay, InlineFunction fn);
 
   /// Schedules `fn` every `period` starting at `first`. The callback runs
   /// until cancelled. Returns the id of the *recurrence*, which stays valid
   /// across firings.
-  EventId schedule_every(Time first, Duration period, std::function<void()> fn);
+  EventId schedule_every(Time first, Duration period, InlineFunction fn);
 
   /// Cancels a pending event or recurrence. Cancelling an already-fired or
   /// unknown id is a no-op. Returns true if something was cancelled.
@@ -68,34 +82,75 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
   /// Number of events currently pending.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return live_; }
+
+  /// Total event-node capacity the slab has allocated (for tests/benches:
+  /// a cancel-heavy workload must not grow this without bound).
+  std::size_t slab_capacity() const { return chunks_.size() * kChunkSize; }
 
  private:
-  struct QueueEntry {
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkSize = 256;
+
+  struct Node {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    Duration period = 0;            // 0 => one-shot
+    std::uint32_t gen = 1;          // bumped on every slot release
+    std::uint32_t heap_pos = kNpos; // kNpos when not queued
+    std::uint32_t next_free = kNpos;
+    InlineFunction fn;
+  };
+
+  Node& node(std::uint32_t slot) {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+  const Node& node(std::uint32_t slot) const {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+
+  // Heap entries carry the (at, seq) ordering key alongside the slot index,
+  // so sift comparisons scan the contiguous heap array and never chase into
+  // the slab; the slab node is only touched to maintain heap_pos.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    std::uint64_t id;
-    bool operator>(const QueueEntry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
   };
 
-  struct Recurrence {
-    Duration period;
-  };
+  static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  EventId enqueue(Time at, std::function<void()> fn);
-  void fire(std::uint64_t id);
+  EventId enqueue(Time at, Duration period, InlineFunction fn);
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+
+  void heap_push(HeapEntry entry);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos, HeapEntry entry);
+  void sift_down(std::uint32_t pos, HeapEntry entry);
 
   Time now_ = 0;
   bool stopped_ = false;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
-  std::unordered_map<std::uint64_t, Recurrence> recurrences_;
+  std::size_t live_ = 0;
+
+  // Slab: chunked so node addresses stay stable while a resident callback
+  // executes (a callback scheduling new events may grow the pool).
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t free_head_ = kNpos;
+
+  // 4-ary min-heap ordered by (at, seq); each slab node tracks its heap
+  // position for O(log n) arbitrary removal.
+  std::vector<HeapEntry> heap_;
+
+  // Slot whose recurrence callback is executing right now; if it cancels
+  // itself mid-fire, reclamation is deferred until the callback returns.
+  std::uint32_t firing_ = kNpos;
+  bool firing_cancelled_ = false;
 };
 
 }  // namespace dynaplat::sim

@@ -1,0 +1,47 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+
+#include "concurrency/thread_pool.hpp"
+
+namespace dynaplat::sim {
+
+ScenarioSweep::ScenarioSweep(SweepConfig config) : config_(config) {
+  if (config_.threads > 0) {
+    pool_ = std::make_unique<concurrency::ThreadPool>(config_.threads);
+  }
+}
+
+ScenarioSweep::~ScenarioSweep() = default;
+
+std::size_t ScenarioSweep::threads() const {
+  return pool_ ? pool_->size() : 0;
+}
+
+void ScenarioSweep::for_each(std::size_t n,
+                             const std::function<void(ScenarioRun&)>& body) {
+  const std::size_t grain = std::max<std::size_t>(1, config_.grain);
+  concurrency::parallel_for(pool_.get(), 0, n, grain, [&](std::size_t i) {
+    ScenarioRun run;
+    run.index = i;
+    run.family_seed = config_.seed;
+    run.rng = Random::stream(config_.seed, i);
+    body(run);
+  });
+}
+
+std::uint64_t ScenarioSweep::merge_fingerprints(
+    const std::vector<std::uint64_t>& fingerprints) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(fingerprints.size());
+  for (std::uint64_t fp : fingerprints) mix(fp);
+  return h;
+}
+
+}  // namespace dynaplat::sim

@@ -1,0 +1,89 @@
+// Parallel scenario-sweep driver.
+//
+// A sweep runs N independent simulations — fault-campaign seeds, XiL
+// parameter grids, DSE candidate validations — on the deterministic
+// concurrency thread pool. Each scenario gets its own Simulator (the kernel
+// is single-threaded by design) and its own Random derived via
+// Random::stream(seed, index), so no state is shared between runs and the
+// per-scenario outcome is a pure function of (family seed, index).
+// Results land in index-addressed slots and fingerprints merge in index
+// order, so the sweep's aggregate output is bit-identical at any thread
+// count (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaplat::concurrency {
+class ThreadPool;
+}
+
+namespace dynaplat::sim {
+
+struct SweepConfig {
+  /// Family seed; scenario i draws from Random::stream(seed, i).
+  std::uint64_t seed = 1;
+  /// Worker threads. 0 runs every scenario inline on the calling thread —
+  /// the same code path, so 0 vs N threads is a pure determinism A/B.
+  std::size_t threads = 0;
+  /// Scenarios claimed per worker grab (larger amortizes queue traffic for
+  /// short scenarios; results are index-addressed either way).
+  std::size_t grain = 1;
+};
+
+/// Everything one scenario owns: its index in the sweep, the family seed,
+/// a private RNG stream, and a fresh simulator.
+struct ScenarioRun {
+  std::size_t index = 0;
+  std::uint64_t family_seed = 0;
+  Random rng;
+  Simulator simulator;
+
+  ScenarioRun() = default;
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+};
+
+class ScenarioSweep {
+ public:
+  explicit ScenarioSweep(SweepConfig config = {});
+  ~ScenarioSweep();
+
+  ScenarioSweep(const ScenarioSweep&) = delete;
+  ScenarioSweep& operator=(const ScenarioSweep&) = delete;
+
+  /// Worker threads actually running (0 = inline serial).
+  std::size_t threads() const;
+
+  /// Runs body(run) for every scenario index in [0, n). Blocks until all
+  /// scenarios finished; an exception from the lowest-index failing
+  /// scenario is rethrown on the calling thread.
+  void for_each(std::size_t n, const std::function<void(ScenarioRun&)>& body);
+
+  /// Runs body over [0, n) and collects the outcomes in index order.
+  /// Outcome must be default-constructible and assignable.
+  template <typename Outcome>
+  std::vector<Outcome> run(std::size_t n,
+                           const std::function<Outcome(ScenarioRun&)>& body) {
+    std::vector<Outcome> results(n);
+    for_each(n, [&](ScenarioRun& r) { results[r.index] = body(r); });
+    return results;
+  }
+
+  /// Folds per-scenario fingerprints into one sweep fingerprint (FNV-1a in
+  /// index order — thread-count independent by construction).
+  static std::uint64_t merge_fingerprints(
+      const std::vector<std::uint64_t>& fingerprints);
+
+ private:
+  SweepConfig config_;
+  std::unique_ptr<concurrency::ThreadPool> pool_;
+};
+
+}  // namespace dynaplat::sim

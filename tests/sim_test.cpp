@@ -1,11 +1,14 @@
 // Unit tests for the discrete-event simulation kernel, RNG and statistics.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/sweep.hpp"
 #include "sim/trace.hpp"
 
 namespace dynaplat::sim {
@@ -115,6 +118,241 @@ TEST(Simulator, EventsExecutedCountsFiredOnly) {
   simulator.cancel(cancelled);
   simulator.run();
   EXPECT_EQ(simulator.events_executed(), 1u);
+}
+
+// --- Event-order determinism regression ------------------------------------
+//
+// Golden FNV-1a fingerprint over the (time, firing-index) total order of a
+// mixed scenario: two periodics, one-shots, cancel-inside-own-callback (both
+// the one-shot and the recurrence flavour), cancellation of a pending event
+// from another callback, same-timestamp FIFO ties, and the run_until clock
+// edge cases (re-run at the same bound, bound with no events, event exactly
+// at the bound, stop() inside run_until). The constant below was captured
+// from the pre-slab tombstone kernel; any kernel change that alters the
+// firing order, the cancel return values, pending() accounting or the
+// run_until clock semantics changes the hash and fails this test.
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+std::uint64_t run_fingerprint_scenario() {
+  Fnv1a fp;
+  Simulator s;
+  auto mark = [&](std::uint64_t tag) {
+    fp.mix(tag);
+    fp.mix(static_cast<std::uint64_t>(s.now()));
+    fp.mix(s.events_executed());
+    fp.mix(s.pending());
+  };
+  auto mark_cancel = [&](bool cancelled) { fp.mix(cancelled ? 0xC1 : 0xC0); };
+
+  // Periodic A fires at 5, 12, 19; cancelled externally at t=21.
+  const EventId a = s.schedule_every(5, 7, [&] { mark(1); });
+  // Periodic B fires at 3, 8, 13, 18 and cancels itself mid-fire on the 4th.
+  int b_count = 0;
+  EventId b;
+  b = s.schedule_every(3, 5, [&] {
+    mark(2);
+    if (++b_count == 4) mark_cancel(s.cancel(b));
+  });
+  // One-shot C at t=20 is cancelled before firing by the t=10 event.
+  const EventId c = s.schedule_at(20, [&] { mark(3); });
+  // One-shot at t=10 schedules a same-timestamp one-shot (FIFO tie) and
+  // cancels C.
+  s.schedule_at(10, [&] {
+    mark(4);
+    s.schedule_at(10, [&] { mark(5); });
+    mark_cancel(s.cancel(c));
+  });
+  // One-shot D cancels itself while executing (no-op: already dequeued).
+  EventId d;
+  d = s.schedule_at(12, [&] {
+    mark(6);
+    mark_cancel(s.cancel(d));
+  });
+  // Periodic E fires at 4, 10; cancelled from another callback at t=15.
+  const EventId e = s.schedule_every(4, 6, [&] { mark(7); });
+  s.schedule_at(15, [&] {
+    mark(8);
+    mark_cancel(s.cancel(e));
+  });
+  s.schedule_at(21, [&] {
+    mark(12);
+    mark_cancel(s.cancel(a));
+  });
+
+  s.run_until(10);
+  mark(100);
+  s.run_until(10);  // re-run at the same bound: no-op, clock stays
+  mark(101);
+  s.run_until(11);  // bound with no events: clock still advances
+  mark(102);
+  s.schedule_at(22, [&] { mark(9); });
+  s.run_until(22);  // event exactly at the bound fires
+  mark(103);
+  s.schedule_at(24, [&] {
+    mark(10);
+    s.stop();
+  });
+  s.schedule_at(26, [&] { mark(11); });
+  s.run_until(40);  // stop() fires at 24; clock advances to the bound anyway
+  mark(104);
+  s.run();  // drains the leftover t=26 event
+  mark(105);
+  return fp.h;
+}
+
+}  // namespace
+
+TEST(Simulator, GoldenEventOrderFingerprint) {
+  // Captured from the pre-change kernel (priority_queue + tombstones); the
+  // slab/indexed-heap kernel must preserve it bit for bit.
+  constexpr std::uint64_t kGolden = 0xc2dcf1ddca96c36bull;
+  EXPECT_EQ(run_fingerprint_scenario(), kGolden);
+}
+
+TEST(Simulator, FingerprintScenarioIsReproducible) {
+  EXPECT_EQ(run_fingerprint_scenario(), run_fingerprint_scenario());
+}
+
+// --- Slab / generation-handle behaviour ------------------------------------
+
+TEST(Simulator, StaleHandleAfterSlotReuseIsSafe) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId first = simulator.schedule_at(10, [&] { ++fired; });
+  ASSERT_TRUE(simulator.cancel(first));
+  // The freed slot is reused by the next event; the stale handle must not
+  // cancel the new occupant.
+  const EventId second = simulator.schedule_at(20, [&] { ++fired; });
+  EXPECT_FALSE(simulator.cancel(first));
+  EXPECT_FALSE(simulator.cancel(first));  // idempotent
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(simulator.cancel(second));  // already fired
+}
+
+TEST(Simulator, HandleOfFiredEventGoesStale) {
+  Simulator simulator;
+  const EventId id = simulator.schedule_at(5, [] {});
+  simulator.run();
+  EXPECT_FALSE(simulator.cancel(id));
+}
+
+TEST(Simulator, CancelHeavyWorkloadDoesNotGrowQueueOrSlab) {
+  // The acked-retry-timer pattern: schedule a timeout, cancel it almost
+  // immediately, repeat. The tombstone kernel grew its priority_queue
+  // linearly here; the indexed heap must stay flat.
+  Simulator simulator;
+  for (int round = 0; round < 100000; ++round) {
+    const EventId timer =
+        simulator.schedule_in(1000000, [] { FAIL() << "timer leaked"; });
+    ASSERT_TRUE(simulator.cancel(timer));
+    EXPECT_EQ(simulator.pending(), 0u);
+  }
+  // One chunk of slab capacity serves the whole workload via the free list.
+  EXPECT_LE(simulator.slab_capacity(), 256u);
+}
+
+TEST(Simulator, LargeCaptureCallbackFallsBackToHeapCorrectly) {
+  Simulator simulator;
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes: exceeds inline SBO
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i + 1;
+  std::uint64_t sum = 0;
+  static_assert(!InlineFunction::fits_inline<decltype([payload, &sum] {})>());
+  simulator.schedule_at(1, [payload, &sum] {
+    for (std::uint64_t v : payload) sum += v;
+  });
+  simulator.run();
+  EXPECT_EQ(sum, 136u);
+}
+
+TEST(Simulator, RecurrenceRearmsWithoutCopyingCallback) {
+  // A move-only capture proves the kernel never copies the callable: the
+  // old kernel copied it on every firing and would not compile this.
+  Simulator simulator;
+  int count = 0;
+  auto token = std::make_unique<int>(42);  // move-only capture
+  EventId tick;
+  tick = simulator.schedule_every(
+      10, 10, [held = std::move(token), &count, &simulator, &tick] {
+        if (++count == 3) simulator.cancel(tick);
+      });
+  simulator.run();
+  EXPECT_EQ(count, 3);
+}
+
+// --- ScenarioSweep ----------------------------------------------------------
+
+namespace {
+
+// A small event-driven scenario whose fingerprint depends on the RNG stream
+// and the kernel's firing order; used to A/B serial vs parallel sweeps.
+std::uint64_t sweep_scenario_fingerprint(ScenarioRun& run) {
+  Fnv1a fp;
+  fp.mix(run.index);
+  for (int burst = 0; burst < 20; ++burst) {
+    const Time at = run.simulator.now() + 1 +
+                    static_cast<Time>(run.rng.next_below(1000));
+    const EventId timer = run.simulator.schedule_at(
+        at + 500, [&fp] { fp.mix(0xDEAD); });
+    run.simulator.schedule_at(at, [&fp, &run, timer] {
+      fp.mix(static_cast<std::uint64_t>(run.simulator.now()));
+      if (run.rng.chance(0.5)) {
+        fp.mix(run.simulator.cancel(timer) ? 1 : 0);
+      }
+    });
+    run.simulator.run_until(at + 1000);
+  }
+  fp.mix(run.simulator.events_executed());
+  return fp.h;
+}
+
+}  // namespace
+
+TEST(ScenarioSweep, BitIdenticalAcrossThreadCounts) {
+  std::vector<std::uint64_t> serial;
+  std::vector<std::uint64_t> parallel;
+  {
+    ScenarioSweep sweep({.seed = 99, .threads = 0});
+    serial = sweep.run<std::uint64_t>(32, sweep_scenario_fingerprint);
+  }
+  {
+    ScenarioSweep sweep({.seed = 99, .threads = 4});
+    EXPECT_EQ(sweep.threads(), 4u);
+    parallel = sweep.run<std::uint64_t>(32, sweep_scenario_fingerprint);
+  }
+  ASSERT_EQ(serial.size(), 32u);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(ScenarioSweep::merge_fingerprints(serial),
+            ScenarioSweep::merge_fingerprints(parallel));
+}
+
+TEST(ScenarioSweep, StreamsAreIndependentOfSweepWidth) {
+  // Scenario i's outcome must not depend on how many scenarios run beside
+  // it (RNG streams are derived per index, not drawn from a shared source).
+  ScenarioSweep narrow({.seed = 7, .threads = 2});
+  ScenarioSweep wide({.seed = 7, .threads = 2});
+  const auto few = narrow.run<std::uint64_t>(4, sweep_scenario_fingerprint);
+  const auto many = wide.run<std::uint64_t>(16, sweep_scenario_fingerprint);
+  for (std::size_t i = 0; i < few.size(); ++i) EXPECT_EQ(few[i], many[i]);
+}
+
+TEST(ScenarioSweep, MergeFingerprintsIsOrderSensitive) {
+  const std::vector<std::uint64_t> a{1, 2, 3};
+  const std::vector<std::uint64_t> b{3, 2, 1};
+  EXPECT_NE(ScenarioSweep::merge_fingerprints(a),
+            ScenarioSweep::merge_fingerprints(b));
+  EXPECT_EQ(ScenarioSweep::merge_fingerprints(a),
+            ScenarioSweep::merge_fingerprints(a));
 }
 
 TEST(Random, DeterministicForSameSeed) {
