@@ -18,6 +18,8 @@
 // fingerprint (and the index-ordered merge) is bit-identical across thread
 // counts, reports the wall-clock speedup, and writes
 // BENCH_fault_sweep.json.
+#include <sys/utsname.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -289,11 +291,21 @@ int sweep_main() {
     std::fprintf(stderr, "cannot write BENCH_fault_sweep.json\n");
     return 1;
   }
+  const std::size_t hw = concurrency::ThreadPool::hardware_threads();
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E13s_parallel_seed_sweep\",\n");
   std::fprintf(f, "  \"seeds\": %zu,\n", kSeeds);
-  std::fprintf(f, "  \"hardware_threads\": %zu,\n",
-               concurrency::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(f, "  \"sweep_thread_counts\": [1, 8],\n");
+  utsname host{};
+  if (uname(&host) == 0) {
+    std::fprintf(f, "  \"host\": \"%s %s %s\",\n", host.sysname, host.release,
+                 host.machine);
+  }
+  // An A/B on a box with fewer hardware threads than the parallel arm
+  // measures thread-pool overhead, not speedup — flag it so readers don't
+  // quote the number as a parallelism result.
+  std::fprintf(f, "  \"speedup_meaningful\": %s,\n", hw >= 8 ? "true" : "false");
   std::fprintf(f, "  \"bit_identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(f, "  \"merged_fingerprint\": \"%016llx\",\n",
                static_cast<unsigned long long>(serial.merged));

@@ -4,21 +4,80 @@
 
 namespace dynaplat::middleware {
 
+std::uint8_t* PayloadWriter::grow(std::size_t n) {
+  if (arena_ == nullptr) {
+    total_ += n;
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    return bytes_.data() + at;
+  }
+  open_block(n);
+  std::uint8_t* p = wp_;
+  wp_ += n;
+  total_ += n;
+  return p;
+}
+
+void PayloadWriter::open_block(std::size_t need) {
+  // Only the very first block carries headroom — fragment headers prepend
+  // at the front of the message, never mid-chain.
+  const bool first = !cur_ && chain_.slice_count() == 0;
+  flush_block();
+  const std::size_t head = first ? kHeadroom : 0;
+  // Size the first block for the whole expected message (hint) so small and
+  // mid-size messages stay single-slice; later blocks are bulk overflow.
+  const std::size_t goal = std::max(need + head, hint_ + head);
+  // First block small when the message looks small (headers are 21 bytes);
+  // any overflow block is bulk data and jumps straight to the large class.
+  const std::size_t want =
+      first && goal <= net::BufferArena::kSmallCapacity
+          ? net::BufferArena::kSmallCapacity
+          : std::max(goal, net::BufferArena::kLargeCapacity);
+  cur_ = arena_->alloc(want);
+  cur_base_ = head;
+  wp_ = cur_->data() + head;
+  end_ = cur_->data() + cur_->capacity();
+}
+
+void PayloadWriter::flush_block() {
+  if (!cur_) return;
+  const std::size_t used = static_cast<std::size_t>(wp_ - cur_->data());
+  if (used > cur_base_) {
+    cur_->set_size(used);
+    chain_.append(cur_, cur_base_, used - cur_base_);
+  }
+  cur_.reset();
+  wp_ = nullptr;
+  end_ = nullptr;
+  cur_base_ = 0;
+}
+
+net::Payload PayloadWriter::take_chain() {
+  if (arena_ == nullptr) {
+    net::Payload chain(std::move(bytes_));
+    bytes_.clear();
+    total_ = 0;
+    return chain;
+  }
+  flush_block();
+  total_ = 0;
+  return std::move(chain_);  // move leaves chain_ empty, ready for reuse
+}
+
 void PayloadWriter::u16(std::uint16_t v) {
-  bytes_.push_back(static_cast<std::uint8_t>(v));
-  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  std::uint8_t* p = reserve(2);
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void PayloadWriter::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
+  std::uint8_t* p = reserve(4);
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void PayloadWriter::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
+  std::uint8_t* p = reserve(8);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void PayloadWriter::f64(double v) {
@@ -29,46 +88,94 @@ void PayloadWriter::f64(double v) {
 
 void PayloadWriter::str(const std::string& s) {
   u32(static_cast<std::uint32_t>(s.size()));
-  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 
 void PayloadWriter::blob(const std::vector<std::uint8_t>& b) {
   u32(static_cast<std::uint32_t>(b.size()));
-  bytes_.insert(bytes_.end(), b.begin(), b.end());
+  raw(b.data(), b.size());
 }
 
 void PayloadWriter::raw(const std::uint8_t* data, std::size_t len) {
-  bytes_.insert(bytes_.end(), data, data + len);
+  if (len == 0) return;
+  if (static_cast<std::size_t>(end_ - wp_) >= len) {
+    std::memcpy(wp_, data, len);
+    wp_ += len;
+    total_ += len;
+    return;
+  }
+  if (arena_ == nullptr) {
+    total_ += len;
+    bytes_.insert(bytes_.end(), data, data + len);
+    return;
+  }
+  // May span blocks: fill the current one, then continue in fresh ones.
+  while (len > 0) {
+    if (wp_ == end_) open_block(len);
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(end_ - wp_), len);
+    std::memcpy(wp_, data, take);
+    wp_ += take;
+    total_ += take;
+    data += take;
+    len -= take;
+  }
+}
+
+PayloadReader::PayloadReader(const net::Payload& payload)
+    : size_(payload.size()) {
+  if (payload.slice_count() <= 1) {
+    std::size_t prefix = 0;
+    data_ = payload.contiguous_prefix(&prefix);
+  } else {
+    chain_ = &payload;
+  }
+}
+
+void PayloadReader::read(std::uint8_t* dst, std::size_t n) {
+  if (data_ != nullptr) {
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return;
+  }
+  while (n > 0) {
+    const net::BufferSlice& s = chain_->slice(slice_idx_);
+    const std::size_t avail = s.size - slice_off_;
+    const std::size_t take = std::min(avail, n);
+    std::memcpy(dst, s.data() + slice_off_, take);
+    dst += take;
+    n -= take;
+    pos_ += take;
+    slice_off_ += take;
+    if (slice_off_ == s.size) {
+      ++slice_idx_;
+      slice_off_ = 0;
+    }
+  }
+}
+
+std::uint64_t PayloadReader::scalar(std::size_t n) {
+  need(n);
+  std::uint8_t buf[8];
+  read(buf, n);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) v |= std::uint64_t(buf[i]) << (8 * i);
+  return v;
 }
 
 std::uint8_t PayloadReader::u8() {
-  need(1);
-  return bytes_[pos_++];
+  return static_cast<std::uint8_t>(scalar(1));
 }
 
 std::uint16_t PayloadReader::u16() {
-  need(2);
-  const std::uint16_t v = static_cast<std::uint16_t>(
-      bytes_[pos_] | (bytes_[pos_ + 1] << 8));
-  pos_ += 2;
-  return v;
+  return static_cast<std::uint16_t>(scalar(2));
 }
 
 std::uint32_t PayloadReader::u32() {
-  need(4);
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes_[pos_ + i]) << (8 * i);
-  pos_ += 4;
-  return v;
+  return static_cast<std::uint32_t>(scalar(4));
 }
 
-std::uint64_t PayloadReader::u64() {
-  need(8);
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t(bytes_[pos_ + i]) << (8 * i);
-  pos_ += 8;
-  return v;
-}
+std::uint64_t PayloadReader::u64() { return scalar(8); }
 
 double PayloadReader::f64() {
   const std::uint64_t bits = u64();
@@ -80,18 +187,16 @@ double PayloadReader::f64() {
 std::string PayloadReader::str() {
   const std::uint32_t len = u32();
   need(len);
-  std::string s(bytes_.begin() + static_cast<long>(pos_),
-                bytes_.begin() + static_cast<long>(pos_ + len));
-  pos_ += len;
+  std::string s(len, '\0');
+  if (len > 0) read(reinterpret_cast<std::uint8_t*>(s.data()), len);
   return s;
 }
 
 std::vector<std::uint8_t> PayloadReader::blob() {
   const std::uint32_t len = u32();
   need(len);
-  std::vector<std::uint8_t> b(bytes_.begin() + static_cast<long>(pos_),
-                              bytes_.begin() + static_cast<long>(pos_ + len));
-  pos_ += len;
+  std::vector<std::uint8_t> b(len);
+  if (len > 0) read(b.data(), len);
   return b;
 }
 

@@ -5,6 +5,14 @@
 // the explicit little-endian wire codec those objects serialize through; all
 // message headers and user data use it, so a payload is identical regardless
 // of host endianness.
+//
+// Both ends speak the zero-copy data path (net/buffer.hpp):
+//  * PayloadWriter can write into refcounted arena blocks instead of a
+//    std::vector; take_chain() hands the accumulated bytes to the transport
+//    as a slice chain with no further copies.
+//  * PayloadReader can read a scatter-gather net::Payload directly — a
+//    reassembled multi-fragment message is decoded in place, fragment by
+//    fragment, without concatenating first.
 #pragma once
 
 #include <cstdint>
@@ -12,11 +20,33 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer.hpp"
+
 namespace dynaplat::middleware {
 
 class PayloadWriter {
  public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  /// Headroom reserved at the front of the first arena block. The transport
+  /// prepends its 6-byte fragment header into this gap in place
+  /// (skb_push-style), so a single-fragment message travels as a one-slice
+  /// frame with no separate header block.
+  static constexpr std::size_t kHeadroom = 8;
+
+  /// Vector mode: bytes accumulate in an owned std::vector (bytes()/take()).
+  PayloadWriter() = default;
+  /// Arena mode: bytes accumulate in refcounted blocks from `arena`;
+  /// retrieve them with take_chain(). bytes()/take() are invalid in this
+  /// mode. The arena must outlive the writer. `size_hint` (total bytes the
+  /// caller expects to write) sizes the first block so a whole message lands
+  /// in one slice; it is a hint only — writers may exceed it.
+  explicit PayloadWriter(net::BufferArena& arena, std::size_t size_hint = 0)
+      : arena_(&arena), hint_(size_hint) {}
+
+  /// Updates the size hint for the next message (persistent writers that
+  /// serialize a stream of messages, calling take_chain() after each).
+  void hint(std::size_t size_hint) { hint_ = size_hint; }
+
+  void u8(std::uint8_t v) { *reserve(1) = v; }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -29,20 +59,58 @@ class PayloadWriter {
   /// Raw bytes, no length prefix.
   void raw(const std::uint8_t* data, std::size_t len);
 
+  /// Vector mode only.
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() {
+    total_ = 0;
+    return std::move(bytes_);
+  }
+  /// The accumulated bytes as a slice chain. Works in both modes (vector
+  /// mode wraps the vector in a standalone block, no byte copy). Resets the
+  /// writer.
+  net::Payload take_chain();
+  std::size_t size() const { return total_; }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  /// Contiguous scratch for an `n`-byte scalar (n <= 8); advances the
+  /// write position. Arena mode bumps a raw pointer; anything else (vector
+  /// mode, block exhausted) takes the out-of-line slow path.
+  std::uint8_t* reserve(std::size_t n) {
+    if (static_cast<std::size_t>(end_ - wp_) >= n) {
+      std::uint8_t* p = wp_;
+      wp_ += n;
+      total_ += n;
+      return p;
+    }
+    return grow(n);
+  }
+  std::uint8_t* grow(std::size_t n);
+  void open_block(std::size_t need);
+  void flush_block();
+
+  std::vector<std::uint8_t> bytes_;   // vector mode storage
+  net::BufferArena* arena_ = nullptr;
+  net::Payload chain_;                // arena mode: completed blocks
+  net::BufferRef cur_;                // arena mode: block being filled
+  std::uint8_t* wp_ = nullptr;        // arena mode: next write position
+  std::uint8_t* end_ = nullptr;       // arena mode: end of cur_'s capacity
+  std::size_t cur_base_ = 0;          // first payload byte in cur_ (headroom)
+  std::size_t hint_ = 0;
+  std::size_t total_ = 0;
 };
 
 /// Throws std::out_of_range on truncated input — a malformed message must
 /// never read past its buffer (robustness against corrupted frames).
+///
+/// Does not own its input: the vector or Payload passed to the constructor
+/// must outlive the reader.
 class PayloadReader {
  public:
   explicit PayloadReader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(bytes) {}
+      : data_(bytes.data()), size_(bytes.size()) {}
+  /// Reads a slice chain in place (no concatenation). Single-slice chains
+  /// take the same contiguous fast path as vectors.
+  explicit PayloadReader(const net::Payload& payload);
 
   std::uint8_t u8();
   std::uint16_t u16();
@@ -53,17 +121,29 @@ class PayloadReader {
   std::string str();
   std::vector<std::uint8_t> blob();
 
-  std::size_t remaining() const { return bytes_.size() - pos_; }
-  bool exhausted() const { return pos_ >= bytes_.size(); }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
+    // n is compared against the remaining count, never added to pos_:
+    // a hostile length prefix close to SIZE_MAX cannot wrap the check.
+    if (n > size_ - pos_) {
       throw std::out_of_range("payload truncated");
     }
   }
-  const std::vector<std::uint8_t>& bytes_;
+  /// Copies `n` bytes (already need()-checked) into dst, advancing the
+  /// cursor across slices as required.
+  void read(std::uint8_t* dst, std::size_t n);
+  /// Fixed-width little-endian scalar (n <= 8).
+  std::uint64_t scalar(std::size_t n);
+
+  const std::uint8_t* data_ = nullptr;  // contiguous mode (null when chained)
+  const net::Payload* chain_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t pos_ = 0;
+  std::size_t slice_idx_ = 0;  // chain cursor
+  std::size_t slice_off_ = 0;
 };
 
 }  // namespace dynaplat::middleware

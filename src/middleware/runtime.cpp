@@ -15,10 +15,12 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
                  &ecu.simulator(), config.transport) {
   ecu_.set_receive_handler(
       [this](const net::Frame& frame) { transport_.on_frame(frame); });
-  transport_.set_handler(
-      [this](net::NodeId src, std::vector<std::uint8_t> message) {
-        on_message(src, std::move(message));
-      });
+  transport_.set_batch_sender([&ecu](std::vector<net::Frame>& frames) {
+    ecu.send_batch(frames);
+  });
+  transport_.set_chain_handler([this](net::NodeId src, net::Payload message) {
+    on_message(src, std::move(message));
+  });
   if (ecu_.trace() != nullptr) {
     auto& metrics = ecu_.trace()->metrics();
     const std::string prefix = "mw." + ecu_.name() + ".";
@@ -53,14 +55,29 @@ void ServiceRuntime::charge(std::size_t bytes, std::function<void()> fn) {
 void ServiceRuntime::send_message(net::NodeId dst, MessageHeader header,
                                   const std::vector<std::uint8_t>& body,
                                   net::Priority priority) {
+  send_message_block(dst, header,
+                     net::BufferRef::adopt_vector(body), priority);
+}
+
+void ServiceRuntime::send_message_block(net::NodeId dst, MessageHeader header,
+                                        const net::BufferRef& body,
+                                        net::Priority priority) {
   header.sender = ecu_.node_id();
-  if (tagger_) header.auth_tag = tagger_(dst, header, body);
-  auto wire = header.encode(body);
+  // The tagger API speaks vectors; adopted blocks expose theirs by
+  // reference, so stamping stays copy-free.
+  if (tagger_) header.auth_tag = tagger_(dst, header, *body->vec());
+  // Wire chain = 21-byte header in a recycled arena block + a view of the
+  // shared body block. Nothing is linearized between here and the frames.
+  PayloadWriter w(transport_.arena());
+  header.encode_header(w);
+  net::Payload wire = w.take_chain();
+  wire.append(body, 0, body->size());
   const ServiceId service = header.service;
   const ElementId element = header.element;
   charge(wire.size(), [this, dst, priority, service, element,
                        wire = std::move(wire)]() mutable {
-    transport_.send(dst, priority, flow_for(service, element), wire);
+    transport_.send(dst, priority, flow_for(service, element),
+                    std::move(wire));
   });
 }
 
@@ -232,13 +249,18 @@ void ServiceRuntime::publish(ServiceId service, ElementId event,
   header.service = service;
   header.element = event;
 
+  // Wrap the payload once; local dispatch and every remote notification
+  // share the same refcounted block (the handler copy at the app boundary
+  // is the only byte copy left on this path).
+  net::BufferRef body = net::BufferRef::adopt_vector(std::move(data));
+
   // Local subscribers: dispatch through the CPU (RTE-local path).
   auto local = subscriptions_.find({service, event});
   if (local != subscriptions_.end() && local->second.event_handler) {
-    charge(data.size(), [this, service, event, data] {
+    charge(body->size(), [this, service, event, body] {
       auto it = subscriptions_.find({service, event});
       if (it != subscriptions_.end() && it->second.event_handler) {
-        it->second.event_handler(data, ecu_.node_id());
+        it->second.event_handler(*body->vec(), ecu_.node_id());
       }
     });
   }
@@ -246,7 +268,7 @@ void ServiceRuntime::publish(ServiceId service, ElementId event,
   auto remotes = remote_subscribers_.find({service, event});
   if (remotes != remote_subscribers_.end()) {
     for (net::NodeId dst : remotes->second) {
-      send_message(dst, header, data, priority);
+      send_message_block(dst, header, body, priority);
     }
   }
 }
@@ -422,19 +444,20 @@ void ServiceRuntime::stream_send(ServiceId service, ElementId stream,
   header.element = stream;
   header.session = sequence;
 
+  net::BufferRef body = net::BufferRef::adopt_vector(std::move(data));
   auto local = subscriptions_.find({service, stream});
   if (local != subscriptions_.end() && local->second.stream_handler) {
-    charge(data.size(), [this, service, stream, sequence, data] {
+    charge(body->size(), [this, service, stream, sequence, body] {
       auto it = subscriptions_.find({service, stream});
       if (it != subscriptions_.end() && it->second.stream_handler) {
-        it->second.stream_handler(sequence, data);
+        it->second.stream_handler(sequence, *body->vec());
       }
     });
   }
   auto remotes = remote_subscribers_.find({service, stream});
   if (remotes != remote_subscribers_.end()) {
     for (net::NodeId dst : remotes->second) {
-      send_message(dst, header, data, priority);
+      send_message_block(dst, header, body, priority);
     }
   }
 }
@@ -447,14 +470,17 @@ std::uint64_t ServiceRuntime::stream_losses(ServiceId service,
 
 // --- Inbound path ------------------------------------------------------------------------
 
-void ServiceRuntime::on_message(net::NodeId /*src*/,
-                                std::vector<std::uint8_t> wire) {
+void ServiceRuntime::on_message(net::NodeId /*src*/, net::Payload wire) {
   MessageHeader header;
-  std::vector<std::uint8_t> body;
-  if (!MessageHeader::decode(wire, header, body)) {
+  net::Payload body_chain;
+  if (!MessageHeader::decode(wire, header, body_chain)) {
     ++rejected_;
     return;
   }
+  // The one byte copy on the inbound path: application handlers and the
+  // inbound filter speak std::vector, so the body chain linearizes here —
+  // after the header was parsed in place and before any dispatch copy.
+  std::vector<std::uint8_t> body = body_chain.to_vector();
   if (filter_ && !filter_(header, body)) {
     ++rejected_;
     sim::Trace* trace = ecu_.trace();

@@ -204,7 +204,11 @@ class ServiceRuntime {
   void send_message(net::NodeId dst, MessageHeader header,
                     const std::vector<std::uint8_t>& body,
                     net::Priority priority);
-  void on_message(net::NodeId src, std::vector<std::uint8_t> wire);
+  /// Zero-copy send: `body` is a refcounted block shared across
+  /// destinations (publish/stream fan-out wraps the caller's vector once).
+  void send_message_block(net::NodeId dst, MessageHeader header,
+                          const net::BufferRef& body, net::Priority priority);
+  void on_message(net::NodeId src, net::Payload wire);
   void dispatch(MessageHeader header, std::vector<std::uint8_t> body);
   /// Runs `fn` after charging message-processing CPU time.
   void charge(std::size_t bytes, std::function<void()> fn);

@@ -3,30 +3,77 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstring>
 
 namespace dynaplat::middleware {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 CRC32 (IEEE 802.3, reflected 0xEDB88320). Table 0 is the
+// classic byte-at-a-time table; tables 1..7 shift each entry one byte
+// further, so eight input bytes fold in one step. Produces bit-identical
+// results to the byte loop — only the throughput changes.
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables make_crc_tables() {
+  CrcTables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t t = 1; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[t - 1][i];
+      tables[t][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables = make_crc_tables();
+  return tables;
+}
+
+std::uint32_t crc32_feed(std::uint32_t crc, const std::uint8_t* data,
+                         std::size_t size) {
+  const CrcTables& t = crc_tables();
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    data += 8;
+    size -= 8;
+  }
+#endif
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = t[0][(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return crc32_feed(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const net::Payload& payload, std::size_t length) {
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  for (std::size_t i = 0; i < payload.slice_count() && length > 0; ++i) {
+    const net::BufferSlice& s = payload.slice(i);
+    const std::size_t take = std::min<std::size_t>(s.size, length);
+    crc = crc32_feed(crc, s.data(), take);
+    length -= take;
   }
   return crc ^ 0xFFFFFFFFu;
 }
@@ -64,14 +111,71 @@ void Transport::set_metrics(obs::MetricsRegistry& metrics,
 
 std::size_t Transport::fragments_for(std::size_t size) const {
   const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
-  return size == 0 ? 1 : (size + chunk - 1) / chunk;
+  // Single-fragment messages skip the division (runtime divisor, and this
+  // sits on the per-message fast path).
+  return size <= chunk ? 1 : (size + chunk - 1) / chunk;
+}
+
+net::BufferRef Transport::make_fragment_header(std::uint16_t id,
+                                               std::uint16_t index,
+                                               std::uint16_t count) {
+  net::BufferRef header = arena_.alloc(kFragmentHeader);
+  std::uint8_t* p = header->data();
+  p[0] = static_cast<std::uint8_t>(id);
+  p[1] = static_cast<std::uint8_t>(id >> 8);
+  p[2] = static_cast<std::uint8_t>(index);
+  p[3] = static_cast<std::uint8_t>(index >> 8);
+  p[4] = static_cast<std::uint8_t>(count);
+  p[5] = static_cast<std::uint8_t>(count >> 8);
+  return header;
 }
 
 void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
                                net::Priority priority, std::uint32_t flow_id,
-                               const std::vector<std::uint8_t>& message) {
+                               const net::Payload& message) {
   const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
   const std::size_t count = fragments_for(message.size());
+  if (count == 1) {
+    net::Frame frame;
+    frame.dst = dst;
+    frame.priority = priority;
+    frame.flow_id = flow_id;
+    if (message.slice_count() > 0) {
+      const net::BufferSlice& first = message.slice(0);
+      if (first.offset >= kFragmentHeader && first.buf->unique()) {
+        // Fastest path: the chain's first block has headroom (PayloadWriter
+        // reserves it) and nobody else references it, so the header is
+        // written in place just before the payload bytes (skb_push). The
+        // frame rides the message's own block as a single slice: no header
+        // block, no extra slice, and every single-slice fast path downstream
+        // fires. Retransmissions rewrite the same bytes — idempotent.
+        std::uint8_t* p = first.buf->data() + first.offset - kFragmentHeader;
+        p[0] = static_cast<std::uint8_t>(id);
+        p[1] = static_cast<std::uint8_t>(id >> 8);
+        p[2] = 0;
+        p[3] = 0;
+        p[4] = 1;
+        p[5] = 0;
+        net::BufferSlice merged;
+        merged.buf = first.buf;
+        merged.offset = first.offset - kFragmentHeader;
+        merged.size = first.size + kFragmentHeader;
+        frame.payload.append(std::move(merged));
+        for (std::size_t i = 1; i < message.slice_count(); ++i) {
+          frame.payload.append(message.slice(i));
+        }
+        send_frame_(std::move(frame));
+        return;
+      }
+    }
+    // Fast path: one frame = header block + the whole message chain.
+    frame.payload.append(make_fragment_header(id, 0, 1), 0, kFragmentHeader);
+    frame.payload.append(message);
+    send_frame_(std::move(frame));
+    return;
+  }
+  burst_.clear();
+  burst_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t begin = i * chunk;
     const std::size_t end = std::min(begin + chunk, message.size());
@@ -79,23 +183,23 @@ void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
     frame.dst = dst;
     frame.priority = priority;
     frame.flow_id = flow_id;
-    frame.payload.reserve(kFragmentHeader + (end - begin));
-    frame.payload.push_back(static_cast<std::uint8_t>(id));
-    frame.payload.push_back(static_cast<std::uint8_t>(id >> 8));
-    frame.payload.push_back(static_cast<std::uint8_t>(i));
-    frame.payload.push_back(static_cast<std::uint8_t>(i >> 8));
-    frame.payload.push_back(static_cast<std::uint8_t>(count));
-    frame.payload.push_back(static_cast<std::uint8_t>(count >> 8));
-    frame.payload.insert(frame.payload.end(),
-                         message.begin() + static_cast<long>(begin),
-                         message.begin() + static_cast<long>(end));
-    send_frame_(std::move(frame));
+    frame.payload.append(
+        make_fragment_header(id, static_cast<std::uint16_t>(i),
+                             static_cast<std::uint16_t>(count)),
+        0, kFragmentHeader);
+    frame.payload.append(message.subspan(begin, end - begin));
+    burst_.push_back(std::move(frame));
+  }
+  if (send_batch_) {
+    send_batch_(burst_);
+  } else {
+    for (net::Frame& frame : burst_) send_frame_(std::move(frame));
+    burst_.clear();
   }
 }
 
 void Transport::send(net::NodeId dst, net::Priority priority,
-                     std::uint32_t flow_id,
-                     const std::vector<std::uint8_t>& message) {
+                     std::uint32_t flow_id, net::Payload message) {
   const std::uint16_t id = next_message_id_++;
   if (next_message_id_ == 0) next_message_id_ = 1;  // 0 never used
   ++messages_sent_;
@@ -105,20 +209,24 @@ void Transport::send(net::NodeId dst, net::Priority priority,
     send_fragments(id, dst, priority, flow_id, message);
     return;
   }
-  // Reliable: append the end-to-end CRC, remember the message for
-  // retransmission, arm the ack timer.
+  // Reliable: append the end-to-end CRC, pin the chain for retransmission
+  // (refcount, no duplicate), arm the ack timer.
   PendingReliable pending;
   pending.dst = dst;
   pending.priority = priority;
   pending.flow_id = flow_id;
-  pending.message = message;
-  const std::uint32_t crc = crc32(message.data(), message.size());
-  pending.message.push_back(static_cast<std::uint8_t>(crc));
-  pending.message.push_back(static_cast<std::uint8_t>(crc >> 8));
-  pending.message.push_back(static_cast<std::uint8_t>(crc >> 16));
-  pending.message.push_back(static_cast<std::uint8_t>(crc >> 24));
+  const std::uint32_t crc = crc32(message, message.size());
+  net::BufferRef trailer = arena_.alloc(kCrcTrailer);
+  std::uint8_t* p = trailer->data();
+  p[0] = static_cast<std::uint8_t>(crc);
+  p[1] = static_cast<std::uint8_t>(crc >> 8);
+  p[2] = static_cast<std::uint8_t>(crc >> 16);
+  p[3] = static_cast<std::uint8_t>(crc >> 24);
+  pending.message = std::move(message);
+  pending.message.append(trailer, 0, kCrcTrailer);
   pending.backoff = config_.ack_timeout;
-  auto [it, inserted] = pending_reliable_.insert_or_assign(id, std::move(pending));
+  auto [it, inserted] =
+      pending_reliable_.insert_or_assign(id, std::move(pending));
   (void)inserted;
   send_fragments(id, dst, priority, flow_id, it->second.message);
   arm_retry(id);
@@ -160,10 +268,13 @@ void Transport::send_ack(net::NodeId dst, std::uint16_t id) {
   frame.dst = dst;
   frame.priority = net::kPriorityHighest;
   frame.flow_id = 0;
-  frame.payload = {static_cast<std::uint8_t>(id),
-                   static_cast<std::uint8_t>(id >> 8),
-                   0, 0,   // control code 0 = ACK
-                   0, 0};  // count 0 marks a control frame
+  // {id_lo, id_hi, control code 0 = ACK, count 0 = control frame}
+  net::BufferRef header = arena_.alloc(kFragmentHeader);
+  std::uint8_t* p = header->data();
+  p[0] = static_cast<std::uint8_t>(id);
+  p[1] = static_cast<std::uint8_t>(id >> 8);
+  p[2] = p[3] = p[4] = p[5] = 0;
+  frame.payload.append(header, 0, kFragmentHeader);
   ++acks_sent_;
   send_frame_(std::move(frame));
 }
@@ -191,19 +302,41 @@ void Transport::evict_stale() {
 }
 
 bool Transport::remember_delivery(net::NodeId src, std::uint16_t id) {
+  if (config_.dedup_window == 0) return true;
   PeerHistory& history = delivered_history_[src];
-  if (history.ids.count(id) > 0) return false;  // duplicate
-  history.ids.insert(id);
-  history.order.push_back(id);
-  while (history.order.size() > config_.dedup_window) {
-    history.ids.erase(history.order.front());
-    history.order.pop_front();
+  if (!history.seen) {
+    history.seen = std::make_unique<std::uint64_t[]>(PeerHistory::kBitmapWords);
+    std::fill_n(history.seen.get(), PeerHistory::kBitmapWords, 0);
+    history.ring.resize(config_.dedup_window, 0);
   }
+  std::uint64_t& word = history.seen[id >> 6];
+  const std::uint64_t bit = 1ull << (id & 63);
+  if ((word & bit) != 0) return false;  // duplicate
+  if (history.count == history.ring.size()) {
+    // Window full: forget the oldest id. Ring entries are distinct (ids are
+    // only inserted when their bit is clear), so clearing is safe.
+    const std::uint16_t old = history.ring[history.head];
+    history.seen[old >> 6] &= ~(1ull << (old & 63));
+  } else {
+    ++history.count;
+  }
+  word |= bit;
+  history.ring[history.head] = id;
+  if (++history.head == history.ring.size()) history.head = 0;
   return true;
 }
 
+void Transport::deliver(net::NodeId src, net::Payload message) {
+  ++messages_received_;
+  if (chain_handler_) {
+    chain_handler_(src, std::move(message));
+  } else if (handler_) {
+    handler_(src, message.to_vector());
+  }
+}
+
 void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
-                         std::vector<std::uint8_t> message) {
+                         net::Payload message) {
   const bool reliable = config_.reliable && sim_ != nullptr && unicast;
   if (reliable) {
     if (message.size() < kCrcTrailer) {
@@ -212,18 +345,20 @@ void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
     }
     const std::size_t body = message.size() - kCrcTrailer;
     const std::uint32_t expected =
-        static_cast<std::uint32_t>(message[body]) |
-        static_cast<std::uint32_t>(message[body + 1]) << 8 |
-        static_cast<std::uint32_t>(message[body + 2]) << 16 |
-        static_cast<std::uint32_t>(message[body + 3]) << 24;
-    if (crc32(message.data(), body) != expected) {
-      // Corrupt: no ack, the sender's retry delivers a clean copy.
+        static_cast<std::uint32_t>(message.byte(body)) |
+        static_cast<std::uint32_t>(message.byte(body + 1)) << 8 |
+        static_cast<std::uint32_t>(message.byte(body + 2)) << 16 |
+        static_cast<std::uint32_t>(message.byte(body + 3)) << 24;
+    if (crc32(message, body) != expected) {
+      // Corrupt: no ack, the sender's retry delivers a clean copy (the
+      // pinned chain is never the mutated one — corruption copies on
+      // write).
       ++crc_failures_;
       if (crc_failures_counter_ != nullptr) crc_failures_counter_->add();
       ++reassembly_failures_;
       return;
     }
-    message.resize(body);
+    message.truncate(body);
     send_ack(src, id);
     if (!remember_delivery(src, id)) {
       ++duplicates_suppressed_;
@@ -231,22 +366,35 @@ void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
       return;
     }
   }
-  ++messages_received_;
-  if (handler_) handler_(src, std::move(message));
+  deliver(src, std::move(message));
 }
 
 void Transport::on_frame(const net::Frame& frame) {
-  evict_stale();
+  // TTL eviction runs on the periodic sweep timer; only sim-less transports
+  // (no timer) sweep inline as a fallback.
+  if (sim_ == nullptr) evict_stale();
   if (frame.payload.size() < kFragmentHeader) {
     ++reassembly_failures_;
     return;
   }
-  const std::uint16_t id = static_cast<std::uint16_t>(
-      frame.payload[0] | (frame.payload[1] << 8));
-  const std::uint16_t index = static_cast<std::uint16_t>(
-      frame.payload[2] | (frame.payload[3] << 8));
-  const std::uint16_t count = static_cast<std::uint16_t>(
-      frame.payload[4] | (frame.payload[5] << 8));
+  // A fragment's first slice is its header block, so the contiguous prefix
+  // covers all six bytes except after corruption linearized the chain — in
+  // which case it covers the whole payload.
+  std::size_t prefix_len = 0;
+  const std::uint8_t* prefix = frame.payload.contiguous_prefix(&prefix_len);
+  std::uint8_t header[kFragmentHeader];
+  if (prefix_len < kFragmentHeader) {
+    for (std::size_t i = 0; i < kFragmentHeader; ++i) {
+      header[i] = frame.payload.byte(i);
+    }
+    prefix = header;
+  }
+  const std::uint16_t id =
+      static_cast<std::uint16_t>(prefix[0] | (prefix[1] << 8));
+  const std::uint16_t index =
+      static_cast<std::uint16_t>(prefix[2] | (prefix[3] << 8));
+  const std::uint16_t count =
+      static_cast<std::uint16_t>(prefix[4] | (prefix[5] << 8));
   if (count == 0) {
     // Control frame. Code 0 = ACK; unknown codes are ignored so the wire
     // format can grow without breaking old receivers.
@@ -259,10 +407,15 @@ void Transport::on_frame(const net::Frame& frame) {
   }
   const bool unicast = frame.dst != net::kBroadcast;
 
-  // Fast path: single-fragment message.
-  std::vector<std::uint8_t> body(
-      frame.payload.begin() + static_cast<long>(kFragmentHeader),
-      frame.payload.end());
+  // Fragment body: a view into the frame's buffers, no copy. Single-slice
+  // frames (the prepended-header fast path) skip the subspan walk.
+  net::Payload body;
+  if (frame.payload.slice_count() == 1) {
+    const net::BufferSlice& s = frame.payload.slice(0);
+    body.append(s.buf, s.offset + kFragmentHeader, s.size - kFragmentHeader);
+  } else {
+    body = frame.payload.subspan(kFragmentHeader);
+  }
   if (count == 1) {
     complete(frame.src, id, unicast, std::move(body));
     return;
@@ -286,9 +439,11 @@ void Transport::on_frame(const net::Frame& frame) {
   partial.fragments[index] = std::move(body);
 
   if (partial.received == partial.fragments.size()) {
-    std::vector<std::uint8_t> message;
-    for (auto& fragment : partial.fragments) {
-      message.insert(message.end(), fragment.begin(), fragment.end());
+    // Deliver the ordered chain; adjacent views of one block (fragments of
+    // a single transmission) coalesce back into the original slices.
+    net::Payload message;
+    for (net::Payload& fragment : partial.fragments) {
+      message.append(fragment);
     }
     const bool was_unicast = partial.unicast;
     partial_.erase(it);

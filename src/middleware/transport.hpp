@@ -10,11 +10,25 @@
 // A fragment count of 0 marks a control frame; index 0 is an ACK for
 // message id (empty payload).
 //
+// Zero-copy data path (ISSUE 6): a message is a net::Payload slice chain.
+// Fragmentation is scatter-gather — each fragment frame carries a 6-byte
+// header block from the transport's BufferArena plus a *view* into the
+// message chain, so no payload byte is copied on send. Reassembly collects
+// fragment-body views and delivers them as an ordered chain (adjacent views
+// of one block coalesce back into the original slice). Reliable-mode
+// retransmission pins the message chain by refcount instead of duplicating
+// it; the CRC32 walks the chain in place. Multi-fragment messages are
+// submitted to the medium as one burst (send_batch) so the enqueue /
+// arbitration setup cost is paid once. The wire bytes are identical to the
+// historical copying path — only the ownership model changed.
+//
 // Two robustness layers ride on top (fault campaigns, ISSUE 3):
 //  * Stale-reassembly TTL: a partial message that stops receiving fragments
 //    (loss, sender death) is evicted after `reassembly_ttl` instead of
 //    stranding buffer memory forever. Evictions count as reassembly
-//    failures.
+//    failures. The periodic sweep timer armed in the constructor is the
+//    only eviction driver when a simulator is present; sim-less transports
+//    fall back to sweeping on frame arrival.
 //  * Reliable mode (opt-in, unicast only): the sender appends a CRC32 over
 //    the whole message, the receiver acks CRC-valid reassembly, and the
 //    sender retries on ack timeout with capped exponential backoff.
@@ -26,12 +40,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
-#include <set>
+#include <memory>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "net/frame.hpp"
 #include "net/medium.hpp"
 #include "obs/metrics.hpp"
@@ -39,9 +53,14 @@
 
 namespace dynaplat::middleware {
 
-/// Delivered when all fragments of a message have arrived.
+/// Delivered when all fragments of a message have arrived (legacy
+/// linearizing form; prefer ChainHandler on hot paths).
 using MessageHandler =
     std::function<void(net::NodeId src, std::vector<std::uint8_t> message)>;
+
+/// Zero-copy delivery: the message arrives as an ordered slice chain.
+using ChainHandler =
+    std::function<void(net::NodeId src, net::Payload message)>;
 
 /// Invoked when a reliable message exhausts its retries.
 using DeliveryFailureHandler =
@@ -64,6 +83,9 @@ struct TransportConfig {
 /// IEEE 802.3 CRC32 (reflected, 0xEDB88320), the end-to-end integrity check
 /// of the reliable transport. Exposed for tests.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+/// Same CRC over the first `length` bytes of a slice chain, computed in
+/// place (no linearization).
+std::uint32_t crc32(const net::Payload& payload, std::size_t length);
 
 class Transport {
  public:
@@ -76,15 +98,30 @@ class Transport {
             TransportConfig config = {});
   ~Transport();
 
-  /// Fragments and sends a message. flow_id groups fragments of one logical
-  /// flow for media-level arbitration (e.g. the CAN id).
+  /// Optional burst submission path: a fragmented message's frames are
+  /// handed over in one call (the vector comes back empty, capacity
+  /// retained). Falls back to per-frame send_frame when unset.
+  void set_batch_sender(std::function<void(std::vector<net::Frame>&)> sender) {
+    send_batch_ = std::move(sender);
+  }
+
+  /// Fragments and sends a message (slice chain; no payload bytes are
+  /// copied). flow_id groups fragments of one logical flow for media-level
+  /// arbitration (e.g. the CAN id).
+  /// (net::Payload converts implicitly from std::vector<uint8_t> — legacy
+  /// vector callers adopt into a single-slice chain, one wrap, no byte copy
+  /// for rvalues.)
   void send(net::NodeId dst, net::Priority priority, std::uint32_t flow_id,
-            const std::vector<std::uint8_t>& message);
+            net::Payload message);
 
   /// Feeds a received frame into reassembly.
   void on_frame(const net::Frame& frame);
 
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+  /// Zero-copy delivery; takes precedence over set_handler when both set.
+  void set_chain_handler(ChainHandler handler) {
+    chain_handler_ = std::move(handler);
+  }
   void set_delivery_failure_handler(DeliveryFailureHandler handler) {
     on_delivery_failure_ = std::move(handler);
   }
@@ -94,6 +131,11 @@ class Transport {
 
   /// Number of frames one message of `size` bytes costs on this medium.
   std::size_t fragments_for(std::size_t size) const;
+
+  /// The buffer arena this transport allocates fragment headers (and CRC
+  /// trailers) from. Callers on the same thread may use it to build
+  /// outbound message chains without their own arena.
+  net::BufferArena& arena() { return arena_; }
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_received() const { return messages_received_; }
@@ -119,7 +161,9 @@ class Transport {
 
  private:
   struct PartialMessage {
-    std::vector<std::vector<std::uint8_t>> fragments;
+    // Fragment bodies as views into the arriving frames' buffers; for
+    // count >= 2 every body is non-empty, so empty() doubles as "absent".
+    std::vector<net::Payload> fragments;
     std::size_t received = 0;
     sim::Time last_update = 0;
     bool unicast = false;  // candidate for CRC check + ack in reliable mode
@@ -129,42 +173,59 @@ class Transport {
     net::NodeId dst = 0;
     net::Priority priority = net::kPriorityLowest;
     std::uint32_t flow_id = 0;
-    std::vector<std::uint8_t> message;  // includes CRC trailer
+    net::Payload message;  // original chain + CRC slice, pinned by refcount
     int retries = 0;
     sim::Duration backoff = 0;
     sim::EventId timer;
   };
 
+  /// Duplicate-suppression window: a bitmap over the 16-bit message-id
+  /// space answers membership in O(1), a fixed ring of window ids drives
+  /// eviction. remember_delivery allocates nothing after first contact
+  /// with a peer.
   struct PeerHistory {
-    std::deque<std::uint16_t> order;
-    std::set<std::uint16_t> ids;
+    static constexpr std::size_t kBitmapWords = 65536 / 64;
+    std::unique_ptr<std::uint64_t[]> seen;  // 8 KiB, lazily allocated
+    std::vector<std::uint16_t> ring;        // sized to dedup_window
+    std::size_t head = 0;
+    std::size_t count = 0;
   };
 
   void send_fragments(std::uint16_t id, net::NodeId dst,
                       net::Priority priority, std::uint32_t flow_id,
-                      const std::vector<std::uint8_t>& message);
+                      const net::Payload& message);
+  net::BufferRef make_fragment_header(std::uint16_t id, std::uint16_t index,
+                                      std::uint16_t count);
   void send_ack(net::NodeId dst, std::uint16_t id);
   void on_ack(std::uint16_t id);
   void arm_retry(std::uint16_t id);
   void complete(net::NodeId src, std::uint16_t id, bool unicast,
-                std::vector<std::uint8_t> message);
+                net::Payload message);
+  void deliver(net::NodeId src, net::Payload message);
   void evict_stale();
   bool remember_delivery(net::NodeId src, std::uint16_t id);
 
+  // Declared first so it outlives every member holding arena-backed
+  // payloads (pending_reliable_, partial_, burst_) during destruction.
+  net::BufferArena arena_;
   std::function<void(net::Frame)> send_frame_;
+  std::function<void(std::vector<net::Frame>&)> send_batch_;
   std::size_t max_frame_payload_;
   sim::Simulator* sim_;
   TransportConfig config_;
   MessageHandler handler_;
+  ChainHandler chain_handler_;
   DeliveryFailureHandler on_delivery_failure_;
   std::uint16_t next_message_id_ = 1;
+  // Reused burst scratch for multi-fragment sends (capacity persists).
+  std::vector<net::Frame> burst_;
   // Keyed by (src node, message id). Stale partials are evicted when the
   // same sender reuses an id (16-bit wrap) or when the TTL expires.
   std::map<std::pair<net::NodeId, std::uint16_t>, PartialMessage> partial_;
   std::map<std::uint16_t, PendingReliable> pending_reliable_;
   std::map<net::NodeId, PeerHistory> delivered_history_;
-  // Periodic TTL sweep: inbound frames also sweep, but a quiescent link
-  // would otherwise strand its last partial forever.
+  // Periodic TTL sweep (sole eviction driver when a simulator is present —
+  // the per-frame sweep would be redundant O(partials) hot-path work).
   sim::EventId sweep_timer_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_received_ = 0;

@@ -55,6 +55,18 @@ void CanBus::send(Frame frame) {
   try_start_transmission();
 }
 
+void CanBus::send_batch(std::vector<Frame>& frames) {
+  for (Frame& frame : frames) {
+    if (inject_faults(frame)) continue;
+    assert(frame.payload.size() <= max_payload());
+    frame.enqueued_at = sim_.now();
+    frame.seq = seq_++;
+    pending_[arbitration_id(frame)].push_back(std::move(frame));
+  }
+  frames.clear();
+  try_start_transmission();
+}
+
 void CanBus::try_start_transmission() {
   if (busy_ || pending_.empty()) return;
   // Arbitration: lowest id (map order) wins the idle bus.

@@ -32,6 +32,11 @@ class CanBus final : public Medium {
   CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config);
 
   void send(Frame frame) override;
+  /// Burst enqueue: all frames join arbitration before the bus restarts.
+  /// One message's fragments share priority and flow_id, hence one
+  /// arbitration id and one FIFO — delivery order and timing are identical
+  /// to N send() calls, but the arbitration restart runs once per burst.
+  void send_batch(std::vector<Frame>& frames) override;
   std::size_t max_payload() const override { return config_.fd ? 64 : 8; }
 
   /// On-wire duration of a frame with `dlc` payload bytes, including

@@ -25,6 +25,20 @@ void FlexRayBus::assign_static_slot(std::size_t slot, std::uint32_t flow_id) {
 
 void FlexRayBus::send(Frame frame) {
   if (inject_faults(frame)) return;
+  enqueue(std::move(frame));
+  ensure_cycle_scheduled();
+}
+
+void FlexRayBus::send_batch(std::vector<Frame>& frames) {
+  for (Frame& frame : frames) {
+    if (inject_faults(frame)) continue;
+    enqueue(std::move(frame));
+  }
+  frames.clear();
+  ensure_cycle_scheduled();
+}
+
+void FlexRayBus::enqueue(Frame frame) {
   frame.enqueued_at = sim_.now();
   frame.seq = seq_++;
   if (flow_slot_.count(frame.flow_id)) {
@@ -35,6 +49,9 @@ void FlexRayBus::send(Frame frame) {
     dynamic_pending_.emplace(std::make_pair(frame.priority, frame.seq),
                              std::move(frame));
   }
+}
+
+void FlexRayBus::ensure_cycle_scheduled() {
   if (!cycle_scheduled_) {
     cycle_scheduled_ = true;
     // Cycles are aligned to the global clock, as in real FlexRay.

@@ -37,6 +37,10 @@ class FlexRayBus final : public Medium {
   /// Frames whose flow id owns a static slot ride the static segment;
   /// everything else arbitrates the dynamic segment by priority.
   void send(Frame frame) override;
+  /// Burst enqueue: all frames join their segment queues before the cycle
+  /// scheduling check runs once. Same queue state and cycle alignment as N
+  /// send() calls.
+  void send_batch(std::vector<Frame>& frames) override;
   std::size_t max_payload() const override {
     return config_.max_dynamic_payload;
   }
@@ -45,6 +49,8 @@ class FlexRayBus final : public Medium {
   std::uint64_t cycles_run() const { return cycles_run_; }
 
  private:
+  void enqueue(Frame frame);
+  void ensure_cycle_scheduled();
   void run_cycle();
 
   FlexRayConfig config_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "sim/time.hpp"
 
 namespace dynaplat::net {
@@ -27,7 +28,10 @@ struct Frame {
   NodeId src = 0;
   NodeId dst = kBroadcast;
   Priority priority = kPriorityLowest;
-  std::vector<std::uint8_t> payload;
+  /// Scatter-gather payload: a chain of refcounted buffer slices. Copying a
+  /// Frame bumps refcounts; the bytes themselves are shared (copy-on-write
+  /// under mutation, see net/buffer.hpp).
+  Payload payload;
 
   // Bookkeeping stamped by the media models; latency = delivered - enqueued.
   sim::Time enqueued_at = 0;

@@ -67,6 +67,17 @@ class Medium {
   /// Submits a frame for transmission. The medium stamps enqueued_at.
   virtual void send(Frame frame) = 0;
 
+  /// Submits a burst of frames in one call (a fragmented message's
+  /// fragments). The default forwards each frame through send() in index
+  /// order, so fault-injection RNG draws and timing are identical to N
+  /// separate calls; media whose enqueue has a common setup cost (CAN
+  /// arbitration restart, FlexRay cycle scheduling) override this to pay it
+  /// once per burst instead of once per frame.
+  virtual void send_batch(std::vector<Frame>& frames) {
+    for (Frame& frame : frames) send(std::move(frame));
+    frames.clear();
+  }
+
   /// Largest payload a single frame may carry (segmentation is the
   /// transport layer's job; see middleware::Transport).
   virtual std::size_t max_payload() const = 0;

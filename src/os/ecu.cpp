@@ -55,6 +55,15 @@ void Ecu::send(net::Frame frame) {
   medium_->send(std::move(frame));
 }
 
+void Ecu::send_batch(std::vector<net::Frame>& frames) {
+  if (failed_ || medium_ == nullptr) {
+    frames.clear();
+    return;
+  }
+  for (net::Frame& frame : frames) frame.src = node_;
+  medium_->send_batch(frames);
+}
+
 void Ecu::set_receive_handler(net::ReceiveHandler handler) {
   receive_handler_ = std::move(handler);
 }

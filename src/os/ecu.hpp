@@ -64,6 +64,10 @@ class Ecu {
 
   /// Sends a frame from this ECU (no-op when failed or unconnected).
   void send(net::Frame frame);
+  /// Sends a burst of frames (a fragmented message) in one medium call.
+  /// The vector is consumed; it comes back empty with capacity intact so
+  /// the transport can reuse it without reallocating.
+  void send_batch(std::vector<net::Frame>& frames);
   /// Registers the receive path; frames are dropped while failed.
   void set_receive_handler(net::ReceiveHandler handler);
 
