@@ -216,8 +216,18 @@ int main(int argc, char** argv) {
   checker.require_faults_detected(campaign, dp, &redundancy,
                                   40 * sim::kMillisecond);
   checker.require_no_stranded_reassembly(dp);
+  // Arm the flight recorder: the first violated invariant dumps one bundle
+  // (trace tail + metrics + coverage + this seed) for off-line triage.
+  fault::FlightRecorderConfig recorder;
+  recorder.trace = &trace;
+  recorder.seed = seed;
+  recorder.path = "chaos_postmortem.json";
+  checker.set_flight_recorder(recorder);
   const fault::InvariantReport report = checker.run();
   std::printf("\ninvariants: %s\n", report.summary().c_str());
+  if (!report.bundle_path.empty()) {
+    std::printf("post-mortem bundle: %s\n", report.bundle_path.c_str());
+  }
 
   std::printf("\ncampaign fingerprint: %016llx (%zu events injected)\n",
               static_cast<unsigned long long>(campaign.fingerprint()),

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/postmortem.hpp"
+#include "sim/trace.hpp"
+
 namespace dynaplat::fault {
 
 std::string InvariantReport::summary() const {
@@ -218,7 +221,30 @@ InvariantReport InvariantChecker::run() const {
     InvariantResult result;
     result.name = name;
     result.passed = check(result.detail);
-    if (!result.passed) report.passed = false;
+    if (recorder_.trace != nullptr) {
+      recorder_.trace->coverage().hit("invariant." + name +
+                                      (result.passed ? ".pass" : ".fail"));
+    }
+    if (!result.passed) {
+      report.passed = false;
+      // First violation wins the bundle: later failures in the same run (or
+      // later runs of the same checker) are usually cascade noise from the
+      // same root cause, and the earliest state snapshot is the closest to it.
+      if (recorder_.trace != nullptr && !dumped_) {
+        obs::PostMortemInput input;
+        input.trace = &recorder_.trace->buffer();
+        input.metrics = &recorder_.trace->metrics();
+        input.coverage = &recorder_.trace->coverage();
+        input.seed = recorder_.seed;
+        input.verdict = result.name;
+        input.detail = result.detail;
+        input.trace_tail = recorder_.trace_tail;
+        if (obs::write_postmortem_file(input, recorder_.path)) {
+          report.bundle_path = recorder_.path;
+          dumped_ = true;
+        }
+      }
+    }
     report.results.push_back(std::move(result));
   }
   return report;

@@ -27,6 +27,7 @@
 #include "platform/platform.hpp"
 #include "platform/recovery.hpp"
 #include "platform/redundancy.hpp"
+#include "sim/trace.hpp"
 
 namespace dynaplat::fault {
 
@@ -39,7 +40,21 @@ struct InvariantResult {
 struct InvariantReport {
   bool passed = false;
   std::vector<InvariantResult> results;
+  /// Path of the post-mortem flight-recorder bundle dumped on the first
+  /// violation; empty when all invariants passed or no recorder was set.
+  std::string bundle_path;
   std::string summary() const;
+};
+
+/// Post-mortem flight recorder: on the *first* violated invariant of a
+/// run() the checker dumps one JSON bundle — trace-ring tail, metrics
+/// snapshot, coverage snapshot, and the offending scenario seed — so the
+/// failure is triagable without re-running the campaign.
+struct FlightRecorderConfig {
+  sim::Trace* trace = nullptr;  ///< trace + metrics + coverage source
+  std::uint64_t seed = 0;       ///< campaign seed to replay
+  std::string path = "postmortem.json";
+  std::size_t trace_tail = 256;  ///< newest trace events in the bundle
 };
 
 class InvariantChecker {
@@ -93,11 +108,21 @@ class InvariantChecker {
       const platform::RecoveryOrchestrator& orchestrator,
       sim::Duration bound);
 
-  /// Evaluates all registered invariants.
+  /// Arms the post-mortem flight recorder (see FlightRecorderConfig).
+  void set_flight_recorder(FlightRecorderConfig config) {
+    recorder_ = std::move(config);
+  }
+
+  /// Evaluates all registered invariants. With a flight recorder armed,
+  /// the first violation across all run() calls dumps the bundle (later
+  /// violations are usually cascade noise from the same root cause) and
+  /// per-invariant pass/fail counts land in the trace's CoverageMap.
   InvariantReport run() const;
 
  private:
   std::vector<std::pair<std::string, Check>> checks_;
+  FlightRecorderConfig recorder_;
+  mutable bool dumped_ = false;
 };
 
 }  // namespace dynaplat::fault

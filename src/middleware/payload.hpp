@@ -27,10 +27,11 @@ namespace dynaplat::middleware {
 class PayloadWriter {
  public:
   /// Headroom reserved at the front of the first arena block. The transport
-  /// prepends its 6-byte fragment header into this gap in place
-  /// (skb_push-style), so a single-fragment message travels as a one-slice
-  /// frame with no separate header block.
-  static constexpr std::size_t kHeadroom = 8;
+  /// prepends in place (skb_push-style): a 29-byte obs::TraceContext for
+  /// sampled chains plus its 6-byte fragment header below it, so a sampled
+  /// single-fragment message still travels as a one-slice frame with no
+  /// separate header block. 40 = 29 + 6 rounded up to an 8-byte boundary.
+  static constexpr std::size_t kHeadroom = 40;
 
   /// Vector mode: bytes accumulate in an owned std::vector (bytes()/take()).
   PayloadWriter() = default;

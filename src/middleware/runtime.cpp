@@ -18,8 +18,9 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
   transport_.set_batch_sender([&ecu](std::vector<net::Frame>& frames) {
     ecu.send_batch(frames);
   });
-  transport_.set_chain_handler([this](net::NodeId src, net::Payload message) {
-    on_message(src, std::move(message));
+  transport_.set_traced_handler([this](net::NodeId src, net::Payload message,
+                                       const obs::TraceContext& ctx) {
+    on_message(src, std::move(message), ctx);
   });
   if (ecu_.trace() != nullptr) {
     auto& metrics = ecu_.trace()->metrics();
@@ -31,6 +32,14 @@ ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
     call_latency_ns_ = &metrics.histogram(prefix + "call_latency_ns");
     bind_latency_ns_ = &metrics.histogram(prefix + "bind_latency_ns");
     transport_.set_metrics(metrics, prefix + "transport.");
+    transport_.set_coverage(&ecu_.trace()->coverage());
+    if (config_.trace_sample_every != 0) {
+      tracer_ = std::make_unique<obs::ChainTracer>(
+          ecu_.trace()->buffer(), metrics, ecu_.name() + "/chain",
+          static_cast<std::uint32_t>(ecu_.node_id()),
+          obs::ChainTracerConfig{config_.trace_sample_every});
+      transport_.set_tracer(tracer_.get());
+    }
   }
 }
 
@@ -54,14 +63,16 @@ void ServiceRuntime::charge(std::size_t bytes, std::function<void()> fn) {
 
 void ServiceRuntime::send_message(net::NodeId dst, MessageHeader header,
                                   const std::vector<std::uint8_t>& body,
-                                  net::Priority priority) {
-  send_message_block(dst, header,
-                     net::BufferRef::adopt_vector(body), priority);
+                                  net::Priority priority,
+                                  obs::TraceContext ctx) {
+  send_message_block(dst, header, net::BufferRef::adopt_vector(body),
+                     priority, ctx);
 }
 
 void ServiceRuntime::send_message_block(net::NodeId dst, MessageHeader header,
                                         const net::BufferRef& body,
-                                        net::Priority priority) {
+                                        net::Priority priority,
+                                        obs::TraceContext ctx) {
   header.sender = ecu_.node_id();
   // The tagger API speaks vectors; adopted blocks expose theirs by
   // reference, so stamping stays copy-free.
@@ -74,10 +85,12 @@ void ServiceRuntime::send_message_block(net::NodeId dst, MessageHeader header,
   wire.append(body, 0, body->size());
   const ServiceId service = header.service;
   const ElementId element = header.element;
-  charge(wire.size(), [this, dst, priority, service, element,
+  charge(wire.size(), [this, dst, priority, service, element, ctx,
                        wire = std::move(wire)]() mutable {
+    // The transport stamps ctx.sent_ns here, after the CPU charge, so the
+    // serialize segment covers middleware processing time.
     transport_.send(dst, priority, flow_for(service, element),
-                    std::move(wire));
+                    std::move(wire), ctx);
   });
 }
 
@@ -264,11 +277,17 @@ void ServiceRuntime::publish(ServiceId service, ElementId event,
       }
     });
   }
-  // Remote subscribers: one notification each.
+  // Remote subscribers: one notification each, sharing one chain context
+  // (same trace id, one end-to-end close per receiver).
   auto remotes = remote_subscribers_.find({service, event});
-  if (remotes != remote_subscribers_.end()) {
+  if (remotes != remote_subscribers_.end() && !remotes->second.empty()) {
+    const obs::TraceContext ctx =
+        tracer_ != nullptr
+            ? tracer_->start(
+                  static_cast<std::uint64_t>(ecu_.simulator().now()))
+            : obs::TraceContext{};
     for (net::NodeId dst : remotes->second) {
-      send_message_block(dst, header, body, priority);
+      send_message_block(dst, header, body, priority, ctx);
     }
   }
 }
@@ -353,7 +372,12 @@ void ServiceRuntime::call(ServiceId service, ElementId method,
         header.service = service;
         header.element = method;
         header.session = session;
-        send_message(*provider, header, request, priority);
+        const obs::TraceContext ctx =
+            tracer_ != nullptr
+                ? tracer_->start(
+                      static_cast<std::uint64_t>(ecu_.simulator().now()))
+                : obs::TraceContext{};
+        send_message(*provider, header, request, priority, ctx);
       });
 }
 
@@ -455,9 +479,14 @@ void ServiceRuntime::stream_send(ServiceId service, ElementId stream,
     });
   }
   auto remotes = remote_subscribers_.find({service, stream});
-  if (remotes != remote_subscribers_.end()) {
+  if (remotes != remote_subscribers_.end() && !remotes->second.empty()) {
+    const obs::TraceContext ctx =
+        tracer_ != nullptr
+            ? tracer_->start(
+                  static_cast<std::uint64_t>(ecu_.simulator().now()))
+            : obs::TraceContext{};
     for (net::NodeId dst : remotes->second) {
-      send_message_block(dst, header, body, priority);
+      send_message_block(dst, header, body, priority, ctx);
     }
   }
 }
@@ -470,7 +499,8 @@ std::uint64_t ServiceRuntime::stream_losses(ServiceId service,
 
 // --- Inbound path ------------------------------------------------------------------------
 
-void ServiceRuntime::on_message(net::NodeId /*src*/, net::Payload wire) {
+void ServiceRuntime::on_message(net::NodeId /*src*/, net::Payload wire,
+                                obs::TraceContext ctx) {
   MessageHeader header;
   net::Payload body_chain;
   if (!MessageHeader::decode(wire, header, body_chain)) {
@@ -490,14 +520,24 @@ void ServiceRuntime::on_message(net::NodeId /*src*/, net::Payload wire) {
     }
     return;
   }
+  const sim::Time delivered_at = ecu_.simulator().now();
   charge(body.size(),
-         [this, header, body = std::move(body)]() mutable {
-           dispatch(header, std::move(body));
+         [this, header, ctx, delivered_at, body = std::move(body)]() mutable {
+           if (tracer_ != nullptr && ctx.sampled()) {
+             // A request continues into the provider's reply; everything
+             // else terminates the chain at this dispatch.
+             const bool terminal = header.type != MsgType::kRequest;
+             tracer_->on_dispatch(
+                 ctx, static_cast<std::uint64_t>(delivered_at),
+                 static_cast<std::uint64_t>(ecu_.simulator().now()), terminal);
+           }
+           dispatch(header, std::move(body), ctx);
          });
 }
 
 void ServiceRuntime::dispatch(MessageHeader header,
-                              std::vector<std::uint8_t> body) {
+                              std::vector<std::uint8_t> body,
+                              const obs::TraceContext& ctx) {
   const Key key{header.service, header.element};
   switch (header.type) {
     case MsgType::kOffer: {
@@ -563,13 +603,20 @@ void ServiceRuntime::dispatch(MessageHeader header,
       reply.service = header.service;
       reply.element = header.element;
       reply.session = header.session;
+      // The reply hop continues the caller's chain: same trace id, fresh
+      // span, so the response closes end-to-end back at the caller.
+      const obs::TraceContext reply_ctx =
+          ctx.active() && tracer_ != nullptr ? tracer_->extend(ctx)
+                                             : obs::TraceContext{};
       if (it == methods_.end()) {
         reply.type = MsgType::kError;
-        send_message(header.sender, reply, {}, net::kPriorityHighest);
+        send_message(header.sender, reply, {}, net::kPriorityHighest,
+                     reply_ctx);
       } else {
         reply.type = MsgType::kResponse;
         auto response = it->second(body);
-        send_message(header.sender, reply, response, net::kPriorityLowest);
+        send_message(header.sender, reply, response, net::kPriorityLowest,
+                     reply_ctx);
       }
       break;
     }

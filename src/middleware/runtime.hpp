@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -32,6 +33,7 @@
 
 #include "middleware/message.hpp"
 #include "middleware/transport.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "os/ecu.hpp"
 
@@ -52,6 +54,10 @@ struct RuntimeConfig {
   /// ack/retry reliable mode). Enable `transport.reliable` on every node of
   /// a platform at once — the flag changes the unicast wire format.
   TransportConfig transport;
+  /// Causal chain tracing: sample 1 in N outbound chains (publish / RPC /
+  /// stream) with an obs::TraceContext on the wire. 0 disables tracing
+  /// entirely; only effective when the ECU carries a sim::Trace.
+  std::uint32_t trace_sample_every = 1;
 };
 
 using EventHandler =
@@ -179,6 +185,9 @@ class ServiceRuntime {
   Transport& transport() { return transport_; }
   const Transport& transport() const { return transport_; }
 
+  /// Chain tracer (sampling counters); null when tracing is not wired up.
+  const obs::ChainTracer* tracer() const { return tracer_.get(); }
+
   /// Invoked when a reliable message exhausts its retries (bounded-retry
   /// error surface; also counted in transport().delivery_failures()).
   void set_delivery_failure_handler(DeliveryFailureHandler handler) {
@@ -203,13 +212,16 @@ class ServiceRuntime {
 
   void send_message(net::NodeId dst, MessageHeader header,
                     const std::vector<std::uint8_t>& body,
-                    net::Priority priority);
+                    net::Priority priority, obs::TraceContext ctx = {});
   /// Zero-copy send: `body` is a refcounted block shared across
   /// destinations (publish/stream fan-out wraps the caller's vector once).
   void send_message_block(net::NodeId dst, MessageHeader header,
-                          const net::BufferRef& body, net::Priority priority);
-  void on_message(net::NodeId src, net::Payload wire);
-  void dispatch(MessageHeader header, std::vector<std::uint8_t> body);
+                          const net::BufferRef& body, net::Priority priority,
+                          obs::TraceContext ctx = {});
+  void on_message(net::NodeId src, net::Payload wire,
+                  obs::TraceContext ctx = {});
+  void dispatch(MessageHeader header, std::vector<std::uint8_t> body,
+                const obs::TraceContext& ctx = {});
   /// Runs `fn` after charging message-processing CPU time.
   void charge(std::size_t bytes, std::function<void()> fn);
   /// Ensures a provider is known, parking `work` until the Offer arrives.
@@ -224,6 +236,9 @@ class ServiceRuntime {
   os::Ecu& ecu_;
   RuntimeConfig config_;
   Transport transport_;
+  // Chain tracing policy (sampling + hop attribution); null when the ECU
+  // has no trace or trace_sample_every == 0.
+  std::unique_ptr<obs::ChainTracer> tracer_;
 
   std::map<ServiceId, std::uint32_t> offered_;           // service -> version
   std::map<ServiceId, net::NodeId> providers_;           // learned offers

@@ -100,6 +100,15 @@ Transport::~Transport() {
   for (auto& [id, pending] : pending_reliable_) sim_->cancel(pending.timer);
 }
 
+void Transport::set_coverage(obs::CoverageMap* coverage) {
+  coverage_ = coverage;
+  if (coverage_ == nullptr) return;
+  cov_retransmit_ = coverage_->key("transport.retransmit");
+  cov_dup_drop_ = coverage_->key("transport.dup_drop");
+  cov_ttl_evict_ = coverage_->key("transport.ttl_evict");
+  cov_coalesce_ = coverage_->key("transport.fragment_coalesce");
+}
+
 void Transport::set_metrics(obs::MetricsRegistry& metrics,
                             const std::string& prefix) {
   evictions_counter_ = &metrics.counter(prefix + "reassembly_evictions");
@@ -132,9 +141,10 @@ net::BufferRef Transport::make_fragment_header(std::uint16_t id,
 
 void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
                                net::Priority priority, std::uint32_t flow_id,
-                               const net::Payload& message) {
+                               const net::Payload& message, bool traced) {
   const std::size_t chunk = max_frame_payload_ - kFragmentHeader;
   const std::size_t count = fragments_for(message.size());
+  const std::uint16_t flag = traced ? kTracedFlag : 0;
   if (count == 1) {
     net::Frame frame;
     frame.dst = dst;
@@ -149,13 +159,14 @@ void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
         // frame rides the message's own block as a single slice: no header
         // block, no extra slice, and every single-slice fast path downstream
         // fires. Retransmissions rewrite the same bytes — idempotent.
+        const std::uint16_t wire_count = 1 | flag;
         std::uint8_t* p = first.buf->data() + first.offset - kFragmentHeader;
         p[0] = static_cast<std::uint8_t>(id);
         p[1] = static_cast<std::uint8_t>(id >> 8);
         p[2] = 0;
         p[3] = 0;
-        p[4] = 1;
-        p[5] = 0;
+        p[4] = static_cast<std::uint8_t>(wire_count);
+        p[5] = static_cast<std::uint8_t>(wire_count >> 8);
         net::BufferSlice merged;
         merged.buf = first.buf;
         merged.offset = first.offset - kFragmentHeader;
@@ -169,7 +180,8 @@ void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
       }
     }
     // Fast path: one frame = header block + the whole message chain.
-    frame.payload.append(make_fragment_header(id, 0, 1), 0, kFragmentHeader);
+    frame.payload.append(make_fragment_header(id, 0, 1 | flag), 0,
+                         kFragmentHeader);
     frame.payload.append(message);
     send_frame_(std::move(frame));
     return;
@@ -185,7 +197,7 @@ void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
     frame.flow_id = flow_id;
     frame.payload.append(
         make_fragment_header(id, static_cast<std::uint16_t>(i),
-                             static_cast<std::uint16_t>(count)),
+                             static_cast<std::uint16_t>(count) | flag),
         0, kFragmentHeader);
     frame.payload.append(message.subspan(begin, end - begin));
     burst_.push_back(std::move(frame));
@@ -198,15 +210,55 @@ void Transport::send_fragments(std::uint16_t id, net::NodeId dst,
   }
 }
 
+net::Payload Transport::prepend_context(const obs::TraceContext& ctx,
+                                        net::Payload message) {
+  std::uint8_t wire[obs::TraceContext::kWireSize];
+  ctx.encode(wire);
+  const std::size_t n = obs::TraceContext::kWireSize;
+  if (message.slice_count() > 0) {
+    const net::BufferSlice& first = message.slice(0);
+    if (first.offset >= n && first.buf->unique()) {
+      // The first block has headroom (PayloadWriter reserves enough for the
+      // context *and* the fragment header below it): write in place and
+      // extend the slice downward, keeping the chain single-block.
+      std::memcpy(first.buf->data() + first.offset - n, wire, n);
+      net::Payload out;
+      net::BufferSlice merged;
+      merged.buf = first.buf;
+      merged.offset = first.offset - static_cast<std::uint32_t>(n);
+      merged.size = first.size + static_cast<std::uint32_t>(n);
+      out.append(std::move(merged));
+      for (std::size_t i = 1; i < message.slice_count(); ++i) {
+        out.append(message.slice(i));
+      }
+      return out;
+    }
+  }
+  net::BufferRef block = arena_.alloc(n);
+  std::memcpy(block->data(), wire, n);
+  net::Payload out;
+  out.append(std::move(block), 0, n);
+  out.append(message);
+  return out;
+}
+
 void Transport::send(net::NodeId dst, net::Priority priority,
-                     std::uint32_t flow_id, net::Payload message) {
+                     std::uint32_t flow_id, net::Payload message,
+                     obs::TraceContext ctx) {
   const std::uint16_t id = next_message_id_++;
   if (next_message_id_ == 0) next_message_id_ = 1;  // 0 never used
   ++messages_sent_;
+  const bool traced = ctx.active();
+  if (traced) {
+    ctx.sent_ns = sim_ != nullptr ? static_cast<std::uint64_t>(sim_->now())
+                                  : ctx.origin_ns;
+    message = prepend_context(ctx, std::move(message));
+    if (tracer_ != nullptr && ctx.sampled()) tracer_->on_send(ctx);
+  }
   const bool reliable =
       config_.reliable && sim_ != nullptr && dst != net::kBroadcast;
   if (!reliable) {
-    send_fragments(id, dst, priority, flow_id, message);
+    send_fragments(id, dst, priority, flow_id, message, traced);
     return;
   }
   // Reliable: append the end-to-end CRC, pin the chain for retransmission
@@ -224,11 +276,12 @@ void Transport::send(net::NodeId dst, net::Priority priority,
   p[3] = static_cast<std::uint8_t>(crc >> 24);
   pending.message = std::move(message);
   pending.message.append(trailer, 0, kCrcTrailer);
+  pending.traced = traced;
   pending.backoff = config_.ack_timeout;
   auto [it, inserted] =
       pending_reliable_.insert_or_assign(id, std::move(pending));
   (void)inserted;
-  send_fragments(id, dst, priority, flow_id, it->second.message);
+  send_fragments(id, dst, priority, flow_id, it->second.message, traced);
   arm_retry(id);
 }
 
@@ -253,12 +306,13 @@ void Transport::arm_retry(std::uint16_t id) {
     ++pending.retries;
     ++retries_;
     if (retries_counter_ != nullptr) retries_counter_->add();
+    if (coverage_ != nullptr) coverage_->hit(cov_retransmit_);
     pending.backoff = std::min<sim::Duration>(
         static_cast<sim::Duration>(static_cast<double>(pending.backoff) *
                                    config_.backoff_factor),
         config_.max_backoff);
     send_fragments(id, pending.dst, pending.priority, pending.flow_id,
-                   pending.message);
+                   pending.message, pending.traced);
     arm_retry(id);
   });
 }
@@ -294,6 +348,7 @@ void Transport::evict_stale() {
       ++reassembly_failures_;
       ++reassembly_evictions_;
       if (evictions_counter_ != nullptr) evictions_counter_->add();
+      if (coverage_ != nullptr) coverage_->hit(cov_ttl_evict_);
       it = partial_.erase(it);
     } else {
       ++it;
@@ -326,9 +381,12 @@ bool Transport::remember_delivery(net::NodeId src, std::uint16_t id) {
   return true;
 }
 
-void Transport::deliver(net::NodeId src, net::Payload message) {
+void Transport::deliver(net::NodeId src, net::Payload message,
+                        const obs::TraceContext& ctx) {
   ++messages_received_;
-  if (chain_handler_) {
+  if (traced_handler_) {
+    traced_handler_(src, std::move(message), ctx);
+  } else if (chain_handler_) {
     chain_handler_(src, std::move(message));
   } else if (handler_) {
     handler_(src, message.to_vector());
@@ -336,6 +394,7 @@ void Transport::deliver(net::NodeId src, net::Payload message) {
 }
 
 void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
+                         bool traced, sim::Time first_arrival,
                          net::Payload message) {
   const bool reliable = config_.reliable && sim_ != nullptr && unicast;
   if (reliable) {
@@ -361,12 +420,37 @@ void Transport::complete(net::NodeId src, std::uint16_t id, bool unicast,
     message.truncate(body);
     send_ack(src, id);
     if (!remember_delivery(src, id)) {
+      // Duplicate from a retry: dropped *before* the context is accounted,
+      // so a traced hop is counted exactly once.
       ++duplicates_suppressed_;
       if (duplicates_counter_ != nullptr) duplicates_counter_->add();
+      if (coverage_ != nullptr) coverage_->hit(cov_dup_drop_);
       return;
     }
   }
-  deliver(src, std::move(message));
+  obs::TraceContext ctx;
+  if (traced) {
+    constexpr std::size_t n = obs::TraceContext::kWireSize;
+    if (message.size() < n) {
+      ++reassembly_failures_;
+      return;
+    }
+    std::size_t prefix_len = 0;
+    const std::uint8_t* prefix = message.contiguous_prefix(&prefix_len);
+    std::uint8_t wire[n];
+    if (prefix_len < n) {
+      for (std::size_t i = 0; i < n; ++i) wire[i] = message.byte(i);
+      prefix = wire;
+    }
+    ctx = obs::TraceContext::decode(prefix);
+    message = message.subspan(n);
+    if (tracer_ != nullptr && ctx.sampled()) {
+      const std::uint64_t now =
+          sim_ != nullptr ? static_cast<std::uint64_t>(sim_->now()) : 0;
+      tracer_->on_receive(ctx, static_cast<std::uint64_t>(first_arrival), now);
+    }
+  }
+  deliver(src, std::move(message), ctx);
 }
 
 void Transport::on_frame(const net::Frame& frame) {
@@ -393,19 +477,23 @@ void Transport::on_frame(const net::Frame& frame) {
       static_cast<std::uint16_t>(prefix[0] | (prefix[1] << 8));
   const std::uint16_t index =
       static_cast<std::uint16_t>(prefix[2] | (prefix[3] << 8));
-  const std::uint16_t count =
+  const std::uint16_t raw_count =
       static_cast<std::uint16_t>(prefix[4] | (prefix[5] << 8));
-  if (count == 0) {
+  if (raw_count == 0) {
     // Control frame. Code 0 = ACK; unknown codes are ignored so the wire
     // format can grow without breaking old receivers.
     if (index == 0) on_ack(id);
     return;
   }
-  if (index >= count) {
+  const bool traced = (raw_count & kTracedFlag) != 0;
+  const std::uint16_t count = raw_count & static_cast<std::uint16_t>(~kTracedFlag);
+  if (count == 0 || index >= count) {
+    // A traced flag with a zero fragment count is malformed (corruption).
     ++reassembly_failures_;
     return;
   }
   const bool unicast = frame.dst != net::kBroadcast;
+  const sim::Time now = sim_ != nullptr ? sim_->now() : 0;
 
   // Fragment body: a view into the frame's buffers, no copy. Single-slice
   // frames (the prepended-header fast path) skip the subspan walk.
@@ -417,7 +505,7 @@ void Transport::on_frame(const net::Frame& frame) {
     body = frame.payload.subspan(kFragmentHeader);
   }
   if (count == 1) {
-    complete(frame.src, id, unicast, std::move(body));
+    complete(frame.src, id, unicast, traced, now, std::move(body));
     return;
   }
 
@@ -426,15 +514,18 @@ void Transport::on_frame(const net::Frame& frame) {
   if (it == partial_.end()) {
     it = partial_.emplace(key, PartialMessage{}).first;
     it->second.fragments.resize(count);
+    it->second.first_arrival = now;
   } else if (it->second.fragments.size() != count) {
     // Sender reused the id for a different message: restart reassembly.
     it->second = PartialMessage{};
     it->second.fragments.resize(count);
+    it->second.first_arrival = now;
     ++reassembly_failures_;
   }
   PartialMessage& partial = it->second;
-  partial.last_update = sim_ != nullptr ? sim_->now() : 0;
+  partial.last_update = now;
   partial.unicast = unicast;
+  partial.traced = traced;
   if (partial.fragments[index].empty()) ++partial.received;
   partial.fragments[index] = std::move(body);
 
@@ -446,8 +537,12 @@ void Transport::on_frame(const net::Frame& frame) {
       message.append(fragment);
     }
     const bool was_unicast = partial.unicast;
+    const bool was_traced = partial.traced;
+    const sim::Time first_arrival = partial.first_arrival;
     partial_.erase(it);
-    complete(frame.src, id, was_unicast, std::move(message));
+    if (coverage_ != nullptr) coverage_->hit(cov_coalesce_);
+    complete(frame.src, id, was_unicast, was_traced, first_arrival,
+             std::move(message));
   }
 }
 

@@ -48,6 +48,8 @@
 #include "net/buffer.hpp"
 #include "net/frame.hpp"
 #include "net/medium.hpp"
+#include "obs/context.hpp"
+#include "obs/coverage.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -61,6 +63,11 @@ using MessageHandler =
 /// Zero-copy delivery: the message arrives as an ordered slice chain.
 using ChainHandler =
     std::function<void(net::NodeId src, net::Payload message)>;
+
+/// Zero-copy delivery with the causal trace context that rode the wire
+/// (inactive for untraced messages).
+using TracedHandler = std::function<void(net::NodeId src, net::Payload message,
+                                         const obs::TraceContext& ctx)>;
 
 /// Invoked when a reliable message exhausts its retries.
 using DeliveryFailureHandler =
@@ -111,8 +118,11 @@ class Transport {
   /// (net::Payload converts implicitly from std::vector<uint8_t> — legacy
   /// vector callers adopt into a single-slice chain, one wrap, no byte copy
   /// for rvalues.)
+  /// An active `ctx` is stamped with the send time and prepended to the
+  /// message on the wire (the fragment count's high bit marks it); it
+  /// survives retransmission and is stripped before delivery.
   void send(net::NodeId dst, net::Priority priority, std::uint32_t flow_id,
-            net::Payload message);
+            net::Payload message, obs::TraceContext ctx = {});
 
   /// Feeds a received frame into reassembly.
   void on_frame(const net::Frame& frame);
@@ -122,9 +132,22 @@ class Transport {
   void set_chain_handler(ChainHandler handler) {
     chain_handler_ = std::move(handler);
   }
+  /// Context-aware delivery; takes precedence over both other handlers.
+  void set_traced_handler(TracedHandler handler) {
+    traced_handler_ = std::move(handler);
+  }
   void set_delivery_failure_handler(DeliveryFailureHandler handler) {
     on_delivery_failure_ = std::move(handler);
   }
+
+  /// Chain tracer notified of send/receive hops for sampled contexts (both
+  /// directions use this transport's tracer — it is the local ECU's).
+  void set_tracer(obs::ChainTracer* tracer) { tracer_ = tracer; }
+
+  /// Coverage map recording transport edge paths (retransmit, dup-drop,
+  /// TTL eviction, fragment coalesce). Keys are pre-resolved here so the
+  /// hot paths only index.
+  void set_coverage(obs::CoverageMap* coverage);
 
   /// Registers obs counters under `prefix` (e.g. "mw.EcuA.transport.").
   void set_metrics(obs::MetricsRegistry& metrics, const std::string& prefix);
@@ -158,6 +181,9 @@ class Transport {
 
   static constexpr std::size_t kFragmentHeader = 6;
   static constexpr std::size_t kCrcTrailer = 4;
+  /// High bit of the fragment-count field: the message body starts with an
+  /// encoded obs::TraceContext. Caps fragment counts at 0x7FFF.
+  static constexpr std::uint16_t kTracedFlag = 0x8000;
 
  private:
   struct PartialMessage {
@@ -166,7 +192,9 @@ class Transport {
     std::vector<net::Payload> fragments;
     std::size_t received = 0;
     sim::Time last_update = 0;
+    sim::Time first_arrival = 0;  // bus-vs-reassembly attribution boundary
     bool unicast = false;  // candidate for CRC check + ack in reliable mode
+    bool traced = false;   // body carries a TraceContext prefix
   };
 
   struct PendingReliable {
@@ -174,6 +202,7 @@ class Transport {
     net::Priority priority = net::kPriorityLowest;
     std::uint32_t flow_id = 0;
     net::Payload message;  // original chain + CRC slice, pinned by refcount
+    bool traced = false;   // chain starts with an encoded TraceContext
     int retries = 0;
     sim::Duration backoff = 0;
     sim::EventId timer;
@@ -193,15 +222,20 @@ class Transport {
 
   void send_fragments(std::uint16_t id, net::NodeId dst,
                       net::Priority priority, std::uint32_t flow_id,
-                      const net::Payload& message);
+                      const net::Payload& message, bool traced);
   net::BufferRef make_fragment_header(std::uint16_t id, std::uint16_t index,
                                       std::uint16_t count);
+  /// Prepends the encoded context in front of the message chain — into the
+  /// first block's headroom when available, else via an arena block.
+  net::Payload prepend_context(const obs::TraceContext& ctx,
+                               net::Payload message);
   void send_ack(net::NodeId dst, std::uint16_t id);
   void on_ack(std::uint16_t id);
   void arm_retry(std::uint16_t id);
-  void complete(net::NodeId src, std::uint16_t id, bool unicast,
-                net::Payload message);
-  void deliver(net::NodeId src, net::Payload message);
+  void complete(net::NodeId src, std::uint16_t id, bool unicast, bool traced,
+                sim::Time first_arrival, net::Payload message);
+  void deliver(net::NodeId src, net::Payload message,
+               const obs::TraceContext& ctx);
   void evict_stale();
   bool remember_delivery(net::NodeId src, std::uint16_t id);
 
@@ -215,7 +249,14 @@ class Transport {
   TransportConfig config_;
   MessageHandler handler_;
   ChainHandler chain_handler_;
+  TracedHandler traced_handler_;
   DeliveryFailureHandler on_delivery_failure_;
+  obs::ChainTracer* tracer_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
+  std::uint32_t cov_retransmit_ = 0;
+  std::uint32_t cov_dup_drop_ = 0;
+  std::uint32_t cov_ttl_evict_ = 0;
+  std::uint32_t cov_coalesce_ = 0;
   std::uint16_t next_message_id_ = 1;
   // Reused burst scratch for multi-fragment sends (capacity persists).
   std::vector<net::Frame> burst_;

@@ -1,0 +1,135 @@
+#include "obs/context.hpp"
+
+#include <cstring>
+
+namespace dynaplat::obs {
+namespace {
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void TraceContext::encode(std::uint8_t* out) const {
+  put_u64(out, trace_id);
+  put_u64(out + 8, origin_ns);
+  put_u64(out + 16, sent_ns);
+  put_u32(out + 24, parent_span);
+  out[28] = flags;
+}
+
+TraceContext TraceContext::decode(const std::uint8_t* in) {
+  TraceContext ctx;
+  ctx.trace_id = get_u64(in);
+  ctx.origin_ns = get_u64(in + 8);
+  ctx.sent_ns = get_u64(in + 16);
+  ctx.parent_span = get_u32(in + 24);
+  ctx.flags = in[28];
+  return ctx;
+}
+
+ChainTracer::ChainTracer(TraceBuffer& buffer, MetricsRegistry& metrics,
+                         std::string lane, std::uint32_t origin_id,
+                         ChainTracerConfig config)
+    : buffer_(buffer),
+      lane_(buffer.intern(lane)),
+      name_chain_(buffer.intern("chain")),
+      name_serialize_(buffer.intern("chain:serialize")),
+      name_bus_(buffer.intern("chain:bus")),
+      name_reassembly_(buffer.intern("chain:reassembly")),
+      name_dispatch_(buffer.intern("chain:dispatch")),
+      serialize_ns_(&metrics.histogram("chain.serialize_ns")),
+      bus_ns_(&metrics.histogram("chain.bus_ns")),
+      reassembly_ns_(&metrics.histogram("chain.reassembly_ns")),
+      dispatch_ns_(&metrics.histogram("chain.dispatch_ns")),
+      end_to_end_ns_(&metrics.histogram("chain.end_to_end_ns")),
+      origin_prefix_(static_cast<std::uint64_t>(origin_id) << 40),
+      sample_every_(config.sample_every) {}
+
+TraceContext ChainTracer::start(std::uint64_t now_ns) {
+  const std::uint64_t n = chains_started_++;
+  if (sample_every_ == 0 || n % sample_every_ != 0) return {};
+  ++chains_sampled_;
+  TraceContext ctx;
+  ctx.trace_id = origin_prefix_ | (++next_id_ & ((1ull << 40) - 1));
+  ctx.origin_ns = now_ns;
+  ctx.parent_span = ++next_span_;
+  ctx.flags = TraceContext::kSampled;
+  return ctx;
+}
+
+TraceContext ChainTracer::extend(const TraceContext& inbound) {
+  TraceContext ctx = inbound;
+  ctx.parent_span = ++next_span_;
+  ctx.sent_ns = 0;
+  return ctx;
+}
+
+void ChainTracer::on_send(const TraceContext& ctx) {
+  serialize_ns_->observe(static_cast<double>(ctx.sent_ns - ctx.origin_ns));
+  if (!buffer_.enabled(Category::kService)) return;
+  const auto id = static_cast<std::int64_t>(ctx.trace_id);
+  buffer_.record(static_cast<sim::Time>(ctx.origin_ns), Category::kService,
+                 lane_, name_serialize_, id, EventType::kBegin);
+  buffer_.record(static_cast<sim::Time>(ctx.sent_ns), Category::kService,
+                 lane_, name_serialize_, id, EventType::kEnd);
+  buffer_.record(static_cast<sim::Time>(ctx.sent_ns), Category::kService,
+                 lane_, name_chain_, id, EventType::kFlowStart);
+}
+
+void ChainTracer::on_receive(const TraceContext& ctx,
+                             std::uint64_t first_arrival_ns,
+                             std::uint64_t now_ns) {
+  bus_ns_->observe(static_cast<double>(first_arrival_ns - ctx.sent_ns));
+  reassembly_ns_->observe(static_cast<double>(now_ns - first_arrival_ns));
+  if (!buffer_.enabled(Category::kService)) return;
+  const auto id = static_cast<std::int64_t>(ctx.trace_id);
+  buffer_.record(static_cast<sim::Time>(ctx.sent_ns), Category::kService,
+                 lane_, name_bus_, id, EventType::kBegin);
+  buffer_.record(static_cast<sim::Time>(first_arrival_ns), Category::kService,
+                 lane_, name_bus_, id, EventType::kEnd);
+  buffer_.record(static_cast<sim::Time>(first_arrival_ns), Category::kService,
+                 lane_, name_reassembly_, id, EventType::kBegin);
+  buffer_.record(static_cast<sim::Time>(now_ns), Category::kService, lane_,
+                 name_reassembly_, id, EventType::kEnd);
+  buffer_.record(static_cast<sim::Time>(now_ns), Category::kService, lane_,
+                 name_chain_, id, EventType::kFlowStep);
+}
+
+void ChainTracer::on_dispatch(const TraceContext& ctx,
+                              std::uint64_t delivered_ns, std::uint64_t now_ns,
+                              bool terminal) {
+  dispatch_ns_->observe(static_cast<double>(now_ns - delivered_ns));
+  if (terminal) {
+    end_to_end_ns_->observe(static_cast<double>(now_ns - ctx.origin_ns));
+  }
+  if (!buffer_.enabled(Category::kService)) return;
+  const auto id = static_cast<std::int64_t>(ctx.trace_id);
+  buffer_.record(static_cast<sim::Time>(delivered_ns), Category::kService,
+                 lane_, name_dispatch_, id, EventType::kBegin);
+  buffer_.record(static_cast<sim::Time>(now_ns), Category::kService, lane_,
+                 name_dispatch_, id, EventType::kEnd);
+  if (terminal) {
+    buffer_.record(static_cast<sim::Time>(now_ns), Category::kService, lane_,
+                   name_chain_, id, EventType::kFlowEnd);
+  }
+}
+
+}  // namespace dynaplat::obs

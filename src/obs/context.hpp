@@ -1,0 +1,108 @@
+// Causal trace context for end-to-end dataflow tracing (paper Sec. 3.4).
+//
+// A TraceContext is stamped where a chain starts (publish, RPC call),
+// carried through the transport wire format in the payload headroom,
+// survives reliable-mode retransmission (the wire bytes are pinned, so a
+// retransmit carries the original sent timestamp) and dup suppression (the
+// receiver drops duplicates *before* accounting the hop), and is closed in
+// the subscriber / RPC-response callback. Each hop attributes its latency to
+// one of four segments — serialize, bus, reassembly, dispatch — and the
+// terminal hop closes the end-to-end histogram.
+//
+// ChainTracer is the per-runtime policy object: it owns the sampling
+// decision (1-in-N chains carry a sampled context; the rest get an inactive
+// context whose propagation cost is a branch), allocates trace/span ids, and
+// writes both the latency histograms (shared MetricsRegistry) and the
+// flow-event records (TraceBuffer) that the Chrome exporter renders as a
+// causally-linked arrow across ECU lanes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace dynaplat::obs {
+
+/// Wire-portable causal context. trace_id 0 means "no context" — the
+/// inactive state costs one branch to propagate and zero wire bytes.
+struct TraceContext {
+  std::uint64_t trace_id = 0;   // (origin id << 40) | chain sequence; 0 = none
+  std::uint64_t origin_ns = 0;  // chain start (publish/call stamped)
+  std::uint64_t sent_ns = 0;    // handed to the transport (per hop)
+  std::uint32_t parent_span = 0;
+  std::uint8_t flags = 0;
+
+  static constexpr std::uint8_t kSampled = 0x01;
+  /// Encoded size: trace_id(8) + origin_ns(8) + sent_ns(8) + parent_span(4)
+  /// + flags(1).
+  static constexpr std::size_t kWireSize = 29;
+
+  bool active() const { return trace_id != 0; }
+  bool sampled() const { return (flags & kSampled) != 0; }
+
+  void encode(std::uint8_t* out) const;
+  static TraceContext decode(const std::uint8_t* in);
+};
+
+struct ChainTracerConfig {
+  /// Sample 1 chain in every `sample_every`; 1 = all, 0 = tracing disabled.
+  std::uint32_t sample_every = 1;
+};
+
+/// Per-ECU chain tracing policy + instrumentation sink. Simulator-thread
+/// only, like the TraceBuffer it writes into.
+class ChainTracer {
+ public:
+  ChainTracer(TraceBuffer& buffer, MetricsRegistry& metrics, std::string lane,
+              std::uint32_t origin_id, ChainTracerConfig config = {});
+
+  /// Sampling decision for a new chain. Returns an inactive context for
+  /// unsampled chains.
+  TraceContext start(std::uint64_t now_ns);
+
+  /// Continues an inbound chain into a reply/forward hop: same trace id and
+  /// origin, fresh span, sent_ns cleared for the next transport stamp.
+  TraceContext extend(const TraceContext& inbound);
+
+  /// Transport accepted the (stamped) context: attributes origin->sent as
+  /// serialize time and opens the flow.
+  void on_send(const TraceContext& ctx);
+
+  /// Reassembly completed on the receiver: attributes sent->first_arrival as
+  /// bus time and first_arrival->now as reassembly time.
+  void on_receive(const TraceContext& ctx, std::uint64_t first_arrival_ns,
+                  std::uint64_t now_ns);
+
+  /// Receiver callback ran: attributes delivered->now as dispatch time;
+  /// a terminal hop also closes the end-to-end histogram and the flow.
+  void on_dispatch(const TraceContext& ctx, std::uint64_t delivered_ns,
+                   std::uint64_t now_ns, bool terminal);
+
+  std::uint64_t chains_started() const { return chains_started_; }
+  std::uint64_t chains_sampled() const { return chains_sampled_; }
+
+ private:
+  TraceBuffer& buffer_;
+  std::uint32_t lane_ = 0;           // interned "<ecu>/chain"
+  std::uint32_t name_chain_ = 0;     // interned "chain"
+  std::uint32_t name_serialize_ = 0;
+  std::uint32_t name_bus_ = 0;
+  std::uint32_t name_reassembly_ = 0;
+  std::uint32_t name_dispatch_ = 0;
+  Histogram* serialize_ns_;
+  Histogram* bus_ns_;
+  Histogram* reassembly_ns_;
+  Histogram* dispatch_ns_;
+  Histogram* end_to_end_ns_;
+  std::uint64_t origin_prefix_;
+  std::uint32_t sample_every_;
+  std::uint64_t next_id_ = 0;
+  std::uint32_t next_span_ = 0;
+  std::uint64_t chains_started_ = 0;
+  std::uint64_t chains_sampled_ = 0;
+};
+
+}  // namespace dynaplat::obs

@@ -1,0 +1,62 @@
+#include "obs/coverage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dynaplat::obs {
+
+std::uint32_t CoverageMap::key(std::string_view name) {
+  auto it = index_.find(std::string{name});
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  counts_.push_back(0);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint64_t CoverageMap::count(std::string_view name) const {
+  auto it = index_.find(std::string{name});
+  return it == index_.end() ? 0 : counts_[it->second];
+}
+
+void CoverageMap::merge_from(const CoverageMap& other) {
+  for (std::size_t i = 0; i < other.names_.size(); ++i) {
+    if (other.counts_[i] == 0) {
+      key(other.names_[i]);  // preserve reached-key sets even at count 0
+    } else {
+      hit(key(other.names_[i]), other.counts_[i]);
+    }
+  }
+}
+
+std::string CoverageMap::snapshot_json() const {
+  std::vector<std::size_t> order(names_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return names_[a] < names_[b];
+  });
+  std::string out = "{";
+  bool first = true;
+  char buf[32];
+  for (std::size_t i : order) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += names_[i];  // keys are identifier-style, no escaping needed
+    out += "\":";
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void CoverageMap::clear() {
+  index_.clear();
+  names_.clear();
+  counts_.clear();
+}
+
+}  // namespace dynaplat::obs

@@ -106,9 +106,28 @@ std::string to_chrome_trace_json(const TraceBuffer& buffer) {
         break;
       }
       case EventType::kInstant:
-      case EventType::kCounter: {
+      case EventType::kCounter:
+      case EventType::kFlowStart:
+      case EventType::kFlowStep:
+      case EventType::kFlowEnd: {
         OutEvent point;
-        point.phase = event.type == EventType::kCounter ? 'C' : 'i';
+        switch (event.type) {
+          case EventType::kCounter:
+            point.phase = 'C';
+            break;
+          case EventType::kFlowStart:
+            point.phase = 's';
+            break;
+          case EventType::kFlowStep:
+            point.phase = 't';
+            break;
+          case EventType::kFlowEnd:
+            point.phase = 'f';
+            break;
+          default:
+            point.phase = 'i';
+            break;
+        }
         point.ts_us = to_us(event.at);
         point.pid = pid;
         point.tid = tid;
@@ -161,7 +180,13 @@ std::string to_chrome_trace_json(const TraceBuffer& buffer) {
     if (event.phase == 'i') {
       line += ",\"s\":\"t\"";
     }
-    if (event.phase == 'C') {
+    if (event.phase == 's' || event.phase == 't' || event.phase == 'f') {
+      // Flow events bind by id; the terminal one binds to the enclosing
+      // slice ("bp":"e") so the arrow lands on the dispatch span.
+      line += ",\"id\":" + std::to_string(event.value);
+      if (event.phase == 'f') line += ",\"bp\":\"e\"";
+      line += ",\"args\":{}";
+    } else if (event.phase == 'C') {
       line += ",\"args\":{\"" + json::escape(buffer.name_of(event.name)) +
               "\":" + std::to_string(event.value) + "}";
     } else {

@@ -66,6 +66,29 @@ double Histogram::upper_bound(std::size_t i) const {
                             : std::numeric_limits<double>::infinity();
 }
 
+double Histogram::quantile(double q) const {
+  // Nearest-rank over the bucket counts, matching the bench/common.hpp
+  // percentile convention (rank = ceil(q * n), 1-based). A bucket only
+  // tells us "<= bound", so the estimate is the bucket's upper bound
+  // clamped to the observed max; the overflow bucket reports the max.
+  const std::uint64_t n = total_count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return min();
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      if (i >= bounds_.size()) return max();  // overflow bucket
+      return std::min(bounds_[i], max());
+    }
+  }
+  return max();
+}
+
 std::vector<double> MetricsRegistry::latency_buckets_ns() {
   return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
 }
@@ -160,7 +183,10 @@ std::string MetricsRegistry::snapshot_json() const {
            ", \"sum\": " + fmt_double(h->sum());
     if (h->total_count() > 0) {
       out += ", \"min\": " + fmt_double(h->min()) +
-             ", \"max\": " + fmt_double(h->max());
+             ", \"max\": " + fmt_double(h->max()) +
+             ", \"p50\": " + fmt_double(h->quantile(0.50)) +
+             ", \"p95\": " + fmt_double(h->quantile(0.95)) +
+             ", \"p99\": " + fmt_double(h->quantile(0.99));
     }
     out += ", \"buckets\": [";
     for (std::size_t i = 0; i < h->bucket_count(); ++i) {

@@ -70,6 +70,11 @@ class Histogram {
     const std::uint64_t n = total_count();
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
+  /// Nearest-rank quantile estimate from the bucket counts: the upper bound
+  /// of the bucket holding rank ceil(q * count), clamped to the observed
+  /// max (the overflow bucket reports the max). 0 when empty.
+  double quantile(double q) const;
+
   /// Number of buckets including the overflow bucket.
   std::size_t bucket_count() const { return counts_.size(); }
   /// Inclusive upper bound of bucket i (infinity for the overflow bucket).

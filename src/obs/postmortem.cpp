@@ -1,0 +1,85 @@
+#include "obs/postmortem.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dynaplat::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string make_postmortem_bundle(const PostMortemInput& input) {
+  std::string out = "{\"postmortem\":{";
+  out += "\"seed\":";
+  append_u64(out, input.seed);
+  out += ",\"verdict\":\"" + json::escape(input.verdict) + "\"";
+  out += ",\"detail\":\"" + json::escape(input.detail) + "\"";
+
+  if (input.trace != nullptr) {
+    out += ",\"trace_dropped\":";
+    append_u64(out, input.trace->dropped());
+    out += ",\"trace_recorded\":";
+    append_u64(out, input.trace->recorded());
+    out += ",\"trace_tail\":[";
+    // Keep only the newest `trace_tail` retained events, oldest first.
+    const std::size_t retained = input.trace->size();
+    const std::size_t skip =
+        retained > input.trace_tail ? retained - input.trace_tail : 0;
+    std::size_t index = 0;
+    bool first = true;
+    input.trace->for_each([&](const Event& event) {
+      if (index++ < skip) return;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"at\":";
+      append_i64(out, event.at);
+      out += ",\"source\":\"" +
+             json::escape(input.trace->name_of(event.source)) + "\"";
+      out += ",\"name\":\"" + json::escape(input.trace->name_of(event.name)) +
+             "\"";
+      out += ",\"value\":";
+      append_i64(out, event.value);
+      out += ",\"category\":\"";
+      out += category_name(event.category);
+      out += "\",\"type\":\"";
+      out += event_type_name(event.type);
+      out += "\"}";
+    });
+    out += "]";
+  }
+
+  if (input.metrics != nullptr) {
+    out += ",\"metrics\":" + input.metrics->snapshot_json();
+  }
+  if (input.coverage != nullptr) {
+    out += ",\"coverage\":" + input.coverage->snapshot_json();
+  }
+  out += "}}";
+  return out;
+}
+
+bool write_postmortem_file(const PostMortemInput& input,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string bundle = make_postmortem_bundle(input);
+  const std::size_t written = std::fwrite(bundle.data(), 1, bundle.size(), f);
+  std::fclose(f);
+  return written == bundle.size();
+}
+
+}  // namespace dynaplat::obs

@@ -22,6 +22,26 @@ const char* category_name(Category c) {
   return "unknown";
 }
 
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kInstant:
+      return "instant";
+    case EventType::kBegin:
+      return "begin";
+    case EventType::kEnd:
+      return "end";
+    case EventType::kCounter:
+      return "counter";
+    case EventType::kFlowStart:
+      return "flow_start";
+    case EventType::kFlowStep:
+      return "flow_step";
+    case EventType::kFlowEnd:
+      return "flow_end";
+  }
+  return "unknown";
+}
+
 std::uint32_t Interner::intern(std::string_view s) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ids_.find(std::string(s));

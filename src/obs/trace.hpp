@@ -45,11 +45,15 @@ constexpr std::uint32_t category_bit(Category c) {
 const char* category_name(Category c);
 
 enum class EventType : std::uint8_t {
-  kInstant,  // point event
-  kBegin,    // span opens on the source's lane
-  kEnd,      // span closes (matches the innermost open kBegin of same name)
-  kCounter,  // sampled numeric series (value is the sample)
+  kInstant,    // point event
+  kBegin,      // span opens on the source's lane
+  kEnd,        // span closes (matches the innermost open kBegin of same name)
+  kCounter,    // sampled numeric series (value is the sample)
+  kFlowStart,  // causal flow opens (value is the flow/trace id)
+  kFlowStep,   // causal flow passes through this lane
+  kFlowEnd,    // causal flow terminates
 };
+const char* event_type_name(EventType t);
 
 struct Event {
   sim::Time at = 0;

@@ -176,6 +176,10 @@ void DegradationManager::trace_transition(const HealthTransition& event) {
   trace->metrics()
       .counter("degradation." + event.ecu + ".transitions")
       .add();
+  // Coverage: which state transitions the run actually reached, keyed by
+  // edge, not ECU — the chaos scheduler wants the state-space view.
+  trace->coverage().hit(std::string("degradation.") + to_string(event.from) +
+                        "->" + to_string(event.to));
 }
 
 }  // namespace dynaplat::platform

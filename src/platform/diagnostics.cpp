@@ -13,6 +13,7 @@ void DiagnosticsService::attach(PlatformNode& node) {
   if (metrics_ == nullptr && node.ecu().trace() != nullptr) {
     metrics_ = &node.ecu().trace()->metrics();
   }
+  if (trace_ == nullptr) trace_ = node.ecu().trace();
   // Re-attach just replaces the sink with an equivalent one, so fault
   // records are never forwarded twice.
   const std::string ecu_name = node.ecu().name();
@@ -23,8 +24,14 @@ void DiagnosticsService::attach(PlatformNode& node) {
 }
 
 std::string DiagnosticsService::metrics_snapshot() const {
+  if (trace_ != nullptr) trace_->refresh_self_metrics();
   if (metrics_ == nullptr) return "{}";
   return metrics_->snapshot_json();
+}
+
+std::string DiagnosticsService::coverage_snapshot() const {
+  if (trace_ == nullptr) return "{}";
+  return trace_->coverage().snapshot_json();
 }
 
 void DiagnosticsService::submit(const std::string& ecu,

@@ -36,7 +36,14 @@ class DiagnosticsService {
 
   /// JSON snapshot of the vehicle-wide metrics registry ("{}" when no
   /// registry is known) — the fleet-facing counterpart of vehicle_report().
+  /// Refreshes the obs layer's self-health gauges (trace-ring retained/
+  /// dropped, interner size, coverage keys) first when a trace is known.
   std::string metrics_snapshot() const;
+
+  /// JSON snapshot of the vehicle trace's state-coverage counters ("{}"
+  /// when no trace is known) — the input the coverage-guided chaos
+  /// scheduler consumes.
+  std::string coverage_snapshot() const;
 
   /// Models the vehicle's internet connection state. While offline,
   /// reports queue; on reconnect the backlog flushes to the uplink sink.
@@ -63,6 +70,7 @@ class DiagnosticsService {
 
   DynamicPlatform& platform_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  sim::Trace* trace_ = nullptr;  // adopted from the first traced node
   std::vector<PlatformNode*> nodes_;
   std::vector<monitor::FaultRecord> store_;
   std::vector<std::string> store_sources_;

@@ -84,6 +84,11 @@ sim::Trace* RecoveryOrchestrator::vehicle_trace() {
   return nullptr;
 }
 
+void RecoveryOrchestrator::coverage_hit(const char* key) {
+  sim::Trace* trace = vehicle_trace();
+  if (trace != nullptr) trace->coverage().hit(key);
+}
+
 DeploymentSnapshot RecoveryOrchestrator::snapshot(DynamicPlatform& platform) {
   DeploymentSnapshot snap;
   for (const std::string& name : platform.node_names()) {
@@ -317,6 +322,7 @@ std::map<std::string, std::string> RecoveryOrchestrator::solve_placement(
 }
 
 void RecoveryOrchestrator::plan_and_apply(std::vector<Displaced> work) {
+  coverage_hit("recovery.detect");
   const sim::Time now = platform_.simulator().now();
   auto active = std::make_unique<Active>();
   RecoveryPlan& plan = active->plan;
@@ -327,6 +333,7 @@ void RecoveryOrchestrator::plan_and_apply(std::vector<Displaced> work) {
   std::uint64_t candidates = 0;
   const auto placement = solve_placement(work, &candidates);
   plan.dse_candidates = candidates;
+  coverage_hit("recovery.remap");
 
   for (const Displaced& item : work) {
     auto it = placement.find(item.def->name);
@@ -398,6 +405,7 @@ void RecoveryOrchestrator::apply_step(std::size_t index) {
     return;
   }
   RecoveryStep& step = plan.steps[index];
+  coverage_hit("recovery.apply");
   PlatformNode* to = platform_.node(step.to_ecu);
   if (to == nullptr || to->ecu().failed()) {
     rollback("target " + step.to_ecu + " died mid-plan");
@@ -485,6 +493,7 @@ void RecoveryOrchestrator::apply_step(std::size_t index) {
 }
 
 void RecoveryOrchestrator::begin_soak() {
+  coverage_hit("recovery.soak");
   RecoveryPlan& plan = active_->plan;
   plan.status = PlanStatus::kSoaking;
   for (const RecoveryStep& step : plan.steps) {
@@ -527,6 +536,7 @@ void RecoveryOrchestrator::begin_soak() {
 }
 
 void RecoveryOrchestrator::commit() {
+  coverage_hit("recovery.commit");
   RecoveryPlan& plan = active_->plan;
   plan.status = PlanStatus::kCommitted;
   plan.finished_at = platform_.simulator().now();
@@ -565,6 +575,7 @@ void RecoveryOrchestrator::commit() {
 }
 
 void RecoveryOrchestrator::rollback(const std::string& reason) {
+  coverage_hit("recovery.rollback");
   RecoveryPlan& plan = active_->plan;
   plan.reason = reason;
   bool exact = true;

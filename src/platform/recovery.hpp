@@ -219,6 +219,8 @@ class RecoveryOrchestrator {
   /// Plan-time placement failure: backoff bookkeeping + escalation.
   void strand(const std::string& app, const std::string& origin_ecu);
   sim::Trace* vehicle_trace();
+  /// Records a reached recovery phase in the vehicle trace's CoverageMap.
+  void coverage_hit(const char* key);
 
   DynamicPlatform& platform_;
   RecoveryConfig config_;

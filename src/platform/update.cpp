@@ -15,10 +15,10 @@ std::string versioned_label(const model::AppDef& def) {
 // drops them as unbalanced.
 void phase_mark(PlatformNode& node, const char* name, bool begin) {
   sim::Trace* trace = node.ecu().trace();
-  if (trace == nullptr ||
-      !trace->enabled(sim::TraceCategory::kPlatform)) {
-    return;
-  }
+  if (trace == nullptr) return;
+  // Coverage counts entered phases even when the trace ring is masked off.
+  if (begin) trace->coverage().hit(std::string("update.") + name);
+  if (!trace->enabled(sim::TraceCategory::kPlatform)) return;
   trace->record(node.ecu().simulator().now(), sim::TraceCategory::kPlatform,
                 node.ecu().name() + "/update", name, 0,
                 begin ? obs::EventType::kBegin : obs::EventType::kEnd);

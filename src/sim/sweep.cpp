@@ -44,4 +44,11 @@ std::uint64_t ScenarioSweep::merge_fingerprints(
   return h;
 }
 
+obs::CoverageMap ScenarioSweep::merge_coverage(
+    const std::vector<obs::CoverageMap>& shards) {
+  obs::CoverageMap merged;
+  for (const obs::CoverageMap& shard : shards) merged.merge_from(shard);
+  return merged;
+}
+
 }  // namespace dynaplat::sim

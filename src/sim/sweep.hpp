@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/coverage.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -80,6 +81,12 @@ class ScenarioSweep {
   /// index order — thread-count independent by construction).
   static std::uint64_t merge_fingerprints(
       const std::vector<std::uint64_t>& fingerprints);
+
+  /// Folds per-scenario coverage maps into one sweep-wide map, merging in
+  /// index order so the aggregate (including its interning order, and hence
+  /// its snapshot_json()) is bit-identical at any thread count.
+  static obs::CoverageMap merge_coverage(
+      const std::vector<obs::CoverageMap>& shards);
 
  private:
   SweepConfig config_;

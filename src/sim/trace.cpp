@@ -34,6 +34,19 @@ std::vector<TraceRecord> Trace::tail(std::size_t n) const {
   return out;
 }
 
+void Trace::refresh_self_metrics() {
+  metrics_.gauge("obs.trace.retained")
+      .set(static_cast<double>(buffer_.size()));
+  metrics_.gauge("obs.trace.dropped")
+      .set(static_cast<double>(buffer_.dropped()));
+  metrics_.gauge("obs.trace.recorded")
+      .set(static_cast<double>(buffer_.recorded()));
+  metrics_.gauge("obs.interner.size")
+      .set(static_cast<double>(buffer_.interner().size()));
+  metrics_.gauge("obs.coverage.keys")
+      .set(static_cast<double>(coverage_.size()));
+}
+
 std::vector<TraceRecord> Trace::filter(
     const std::function<bool(const TraceRecord&)>& pred) const {
   std::vector<TraceRecord> out;

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/coverage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -77,11 +78,21 @@ class Trace {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// State-coverage counters riding along with the trace (degradation
+  /// transitions, recovery phases, transport edge paths, ...).
+  obs::CoverageMap& coverage() { return coverage_; }
+  const obs::CoverageMap& coverage() const { return coverage_; }
+
+  /// Publishes the obs layer's own health into the metrics registry:
+  /// trace-ring retained/dropped/recorded, interner size, coverage keys.
+  void refresh_self_metrics();
+
  private:
   TraceRecord materialize(const obs::Event& event) const;
 
   obs::TraceBuffer buffer_;
   obs::MetricsRegistry metrics_;
+  obs::CoverageMap coverage_;
 };
 
 }  // namespace dynaplat::sim

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "fault/campaign.hpp"
 #include "fault/invariants.hpp"
+#include "obs/json.hpp"
 #include "middleware/transport.hpp"
 #include "model/parser.hpp"
 #include "net/can_bus.hpp"
@@ -694,6 +698,62 @@ TEST(Invariants, ReportsViolationsAndPasses) {
   EXPECT_FALSE(report.results[1].passed);
   EXPECT_NE(report.summary().find("VIOLATED"), std::string::npos);
   EXPECT_NE(report.summary().find("expected failure"), std::string::npos);
+}
+
+TEST(Invariants, FlightRecorderDumpsBundleOnFirstViolationOnly) {
+  sim::Trace trace;
+  trace.metrics().counter("mw.sent").add(5);
+  trace.coverage().hit("transport.retransmit", 2);
+  trace.record(5 * sim::kMillisecond, sim::TraceCategory::kFault, "ecu/A",
+               "heartbeat", 1);
+
+  fault::InvariantChecker checker;
+  checker.add("always_true", [](std::string&) { return true; });
+  checker.add("brake_chain_alive", [](std::string& detail) {
+    detail = "no frames for 40ms";
+    return false;
+  });
+  const std::string path = ::testing::TempDir() + "flight_recorder_test.json";
+  std::remove(path.c_str());
+  fault::FlightRecorderConfig recorder;
+  recorder.trace = &trace;
+  recorder.seed = 99;
+  recorder.path = path;
+  checker.set_flight_recorder(recorder);
+
+  const fault::InvariantReport report = checker.run();
+  EXPECT_FALSE(report.passed);
+  EXPECT_EQ(report.bundle_path, path);
+
+  // Verdicts landed in the coverage map alongside the transport key.
+  EXPECT_EQ(trace.coverage().count("invariant.always_true.pass"), 1u);
+  EXPECT_EQ(trace.coverage().count("invariant.brake_chain_alive.fail"), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream raw;
+  raw << in.rdbuf();
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(raw.str(), &doc, &error)) << error;
+  const obs::json::Value& bundle = doc.at("postmortem");
+  EXPECT_DOUBLE_EQ(bundle.at("seed").number, 99.0);
+  EXPECT_EQ(bundle.at("verdict").string, "brake_chain_alive");
+  EXPECT_EQ(bundle.at("detail").string, "no frames for 40ms");
+  EXPECT_DOUBLE_EQ(bundle.at("metrics").at("counters").at("mw.sent").number,
+                   5.0);
+  EXPECT_DOUBLE_EQ(bundle.at("coverage").at("transport.retransmit").number,
+                   2.0);
+  ASSERT_EQ(bundle.at("trace_tail").size(), 1u);
+  EXPECT_EQ(bundle.at("trace_tail")[0].at("name").string, "heartbeat");
+
+  // A second run() sees the same violation but must not rewrite the bundle:
+  // later failures are cascade noise, the first snapshot is the evidence.
+  std::remove(path.c_str());
+  const fault::InvariantReport again = checker.run();
+  EXPECT_FALSE(again.passed);
+  EXPECT_TRUE(again.bundle_path.empty());
+  EXPECT_FALSE(std::ifstream(path).good());
 }
 
 TEST(Invariants, FailOperationalPropertiesHoldUnderCrashCampaign) {

@@ -19,10 +19,13 @@
 #include "middleware/payload.hpp"
 #include "model/parser.hpp"
 #include "net/ethernet.hpp"
+#include "obs/coverage.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
+#include "sim/trace.hpp"
 #include "platform/platform.hpp"
 #include "platform/update.hpp"
 
@@ -473,6 +476,168 @@ deploy Consumer -> B
   ASSERT_TRUE(obs::json::parse(trace.metrics().snapshot_json(), &metrics));
   EXPECT_TRUE(metrics.at("counters").size() > 0 ||
               metrics.at("gauges").size() > 0);
+}
+
+// --- CoverageMap -------------------------------------------------------------
+
+TEST(ObsCoverage, InternAndCountBasics) {
+  obs::CoverageMap coverage;
+  EXPECT_TRUE(coverage.empty());
+  EXPECT_EQ(coverage.count("never"), 0u);
+
+  const auto retransmit = coverage.key("transport.retransmit");
+  coverage.hit(retransmit);
+  coverage.hit(retransmit, 3);
+  coverage.hit("degradation.ok->degraded");
+  EXPECT_EQ(coverage.size(), 2u);
+  EXPECT_EQ(coverage.count("transport.retransmit"), 4u);
+  EXPECT_EQ(coverage.count("degradation.ok->degraded"), 1u);
+
+  // Snapshot is a flat object, keys sorted by name.
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(coverage.snapshot_json(), &doc));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("transport.retransmit").number, 4.0);
+  EXPECT_EQ(doc.at("degradation.ok->degraded").number, 1.0);
+}
+
+TEST(ObsCoverage, MergePreservesReachedKeysAndInterningOrder) {
+  obs::CoverageMap a;
+  a.hit("recovery.detect");
+  a.hit("recovery.commit");
+  obs::CoverageMap b;
+  b.hit("recovery.detect", 2);
+  b.hit("recovery.rollback");
+  b.key("recovery.soak");  // reached-key with zero count (pre-resolved)
+
+  obs::CoverageMap merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.count("recovery.detect"), 3u);
+  EXPECT_EQ(merged.count("recovery.commit"), 1u);
+  EXPECT_EQ(merged.count("recovery.rollback"), 1u);
+  // Zero-count keys survive the merge: the *reached key set* is part of the
+  // coverage signal, not just the counts.
+  EXPECT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.count("recovery.soak"), 0u);
+
+  // Merging in the same shard order from a fresh map reproduces the exact
+  // snapshot — the determinism contract ScenarioSweep::merge_coverage needs.
+  obs::CoverageMap again;
+  again.merge_from(a);
+  again.merge_from(b);
+  EXPECT_EQ(again.snapshot_json(), merged.snapshot_json());
+}
+
+// --- Ring wrap accounting ----------------------------------------------------
+
+TEST(ObsTraceBuffer, WrapAccountingStaysExactOverManyWraps) {
+  obs::TraceBuffer buffer({.capacity = 8});
+  const auto src = buffer.intern("ecu/app");
+  const auto name = buffer.intern("tick");
+  for (int i = 0; i < 1000; ++i) {
+    buffer.record(i, Category::kTask, src, name, i);
+  }
+  EXPECT_EQ(buffer.size(), 8u);
+  EXPECT_EQ(buffer.recorded(), 1000u);
+  EXPECT_EQ(buffer.dropped(), 992u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(events[i].value, 992 + i);
+
+  // Shrinking mid-flight keeps the newest and counts the evictions too.
+  buffer.set_capacity(4);
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.dropped(), 996u);
+  EXPECT_EQ(buffer.snapshot().front().value, 996);
+}
+
+// --- Histogram quantiles -----------------------------------------------------
+
+TEST(ObsMetrics, HistogramSnapshotEmitsNearestRankQuantiles) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("rt.latency_ns", {10.0, 100.0, 1000.0});
+  for (int i = 0; i < 90; ++i) h.observe(5.0);    // -> bucket <=10
+  for (int i = 0; i < 9; ++i) h.observe(50.0);    // -> bucket <=100
+  h.observe(500.0);                               // -> bucket <=1000
+
+  // Nearest-rank on bucket upper bounds: rank 50 and rank 99 both land
+  // within the cumulative counts 90 / 99, rank 100 reaches the last
+  // occupied bucket whose bound is capped at the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);  // capped at observed max
+
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(registry.snapshot_json(), &doc));
+  const obs::json::Value& hist = doc.at("histograms").at("rt.latency_ns");
+  EXPECT_EQ(hist.at("p50").number, 10.0);
+  EXPECT_EQ(hist.at("p95").number, 100.0);
+  EXPECT_EQ(hist.at("p99").number, 100.0);
+}
+
+// --- Post-mortem bundle ------------------------------------------------------
+
+TEST(ObsPostmortem, BundleRoundTripsThroughJson) {
+  obs::TraceBuffer buffer({.capacity = 16});
+  const auto src = buffer.intern("EcuA/chain");
+  const auto name = buffer.intern("chain");
+  for (int i = 0; i < 40; ++i) {
+    buffer.record(i * 100, Category::kService, src, name, i);
+  }
+  obs::MetricsRegistry metrics;
+  metrics.counter("mw.sent").add(7);
+  obs::CoverageMap coverage;
+  coverage.hit("transport.retransmit", 2);
+
+  obs::PostMortemInput input;
+  input.trace = &buffer;
+  input.metrics = &metrics;
+  input.coverage = &coverage;
+  input.seed = 1234;
+  input.verdict = "zero_da_deadline_misses";
+  input.detail = "task \"brake\" missed 3 deadlines";  // needs escaping
+  input.trace_tail = 8;
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(obs::make_postmortem_bundle(input), &doc,
+                               &error))
+      << error;
+  const obs::json::Value& pm = doc.at("postmortem");
+  EXPECT_EQ(pm.at("seed").number, 1234.0);
+  EXPECT_EQ(pm.at("verdict").string, "zero_da_deadline_misses");
+  EXPECT_EQ(pm.at("detail").string, "task \"brake\" missed 3 deadlines");
+  EXPECT_EQ(pm.at("trace_recorded").number, 40.0);
+  EXPECT_EQ(pm.at("trace_dropped").number, 24.0);
+  // Tail = the newest 8 of the 16 retained events, oldest-first.
+  const obs::json::Value& tail = pm.at("trace_tail");
+  ASSERT_EQ(tail.size(), 8u);
+  EXPECT_EQ(tail[0].at("value").number, 32.0);
+  EXPECT_EQ(tail[7].at("value").number, 39.0);
+  EXPECT_EQ(tail[0].at("source").string, "EcuA/chain");
+  EXPECT_EQ(pm.at("metrics").at("counters").at("mw.sent").number, 7.0);
+  EXPECT_EQ(pm.at("coverage").at("transport.retransmit").number, 2.0);
+}
+
+// --- Self-health gauges ------------------------------------------------------
+
+TEST(ObsSelfHealth, RefreshPublishesRingAndInternerGauges) {
+  sim::Trace trace(obs::TraceBufferConfig{.capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    trace.record(i, sim::TraceCategory::kTask, "ecu/app", "tick", i);
+  }
+  trace.coverage().hit("update.download");
+  trace.coverage().hit("update.apply");
+  trace.refresh_self_metrics();
+
+  auto& m = trace.metrics();
+  EXPECT_EQ(m.gauge("obs.trace.retained").value(), 4.0);
+  EXPECT_EQ(m.gauge("obs.trace.dropped").value(), 6.0);
+  EXPECT_EQ(m.gauge("obs.trace.recorded").value(), 10.0);
+  EXPECT_GE(m.gauge("obs.interner.size").value(), 2.0);
+  EXPECT_EQ(m.gauge("obs.coverage.keys").value(), 2.0);
 }
 
 }  // namespace
