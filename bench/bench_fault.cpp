@@ -13,26 +13,44 @@
 // Machine-readable results go to BENCH_fault.json following the
 // BENCH_monitor.json pattern so successive PRs accumulate a trajectory.
 //
-// `bench_fault --sweep` instead runs a 32-seed campaign sweep through
-// sim::ScenarioSweep at 1 and 8 worker threads, checks that every per-seed
-// fingerprint (and the index-ordered merge) is bit-identical across thread
-// counts, reports the wall-clock speedup, and writes
-// BENCH_fault_sweep.json.
+// `bench_fault --sweep [--threads=N] [--seeds=K]` runs a K-seed campaign
+// sweep three ways -- serial, thread-pooled (sim::ScenarioSweep) and
+// process-sharded (fault::ProcessSweep with fork()ed workers pulling from a
+// work-stealing queue) -- checks that every per-seed fingerprint and the
+// index-ordered merge is bit-identical across all drivers, reports
+// per-shard job counts and busy times, and writes BENCH_fault_sweep.json.
+//
+// `bench_fault --fuzz` is experiment E20: an equal-budget A/B of the
+// coverage-guided chaos fuzzer (fault::FuzzScheduler) against a blind seed
+// sweep from the same base config, a shard-count determinism check (the
+// same search at 0/2/3 worker processes must produce bit-identical
+// journals and coverage), and a delta-debugging minimization demo that
+// shrinks a known-failing campaign to a replayable JSON repro and verifies
+// the repro trips the same invariant. Results go to BENCH_fuzz.json; the
+// journal and repro land in fuzz_coverage.json / fuzz_repro.json. Exit
+// status enforces the E20 gates, so CI can run this as a fuzz smoke job.
 #include <sys/utsname.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "fault/campaign.hpp"
+#include "fault/fuzz.hpp"
 #include "fault/invariants.hpp"
+#include "fault/minimize.hpp"
+#include "fault/shard.hpp"
 #include "middleware/transport.hpp"
 #include "model/parser.hpp"
 #include "net/ethernet.hpp"
+#include "obs/json.hpp"
+#include "platform/degradation.hpp"
 #include "platform/platform.hpp"
 #include "platform/redundancy.hpp"
 #include "sim/sweep.hpp"
@@ -115,6 +133,11 @@ TransportOutcome run_transport(double loss, bool reliable) {
 
 // --- Part B: campaign seed sweep ----------------------------------------------
 
+// The Aux app rides along as a low-priority NDA overrun target: its 6M-cycle
+// task (6 ms on ECU C) stays under the 20 ms deadline at typical seeded
+// overrun draws, and only crosses it past a 3.3x factor -- the top of the
+// seeded range, reachable sooner with fuzzer-scaled magnitudes. A blind
+// sweep of the base config (overrun family disabled) can reach none of it.
 const char* kSystem = R"(
 network Net kind=ethernet bitrate=100M
 ecu A mips=1000 memory=64M asil=D network=Net
@@ -124,7 +147,10 @@ interface Cmd paradigm=event payload=8 period=10ms
 app Pilot class=deterministic asil=D memory=4M replicas=2
   task drive period=10ms wcet=100K priority=1
   provides Cmd
+app Aux class=nondeterministic asil=QM memory=4M
+  task churn period=20ms wcet=6M priority=8
 deploy Pilot -> A | B | C
+deploy Aux -> C
 )";
 
 class PilotApp final : public platform::Application {
@@ -147,6 +173,8 @@ class PilotApp final : public platform::Application {
   std::uint64_t step_ = 0;
 };
 
+class AuxApp final : public platform::Application {};
+
 struct CampaignOutcome {
   std::uint64_t seed = 0;
   std::size_t injected = 0;
@@ -158,58 +186,123 @@ struct CampaignOutcome {
   double wall_ms = 0.0;
 };
 
+/// The shared E13/E20 rig: triple ECU, replicated Pilot under supervision,
+/// Aux overrun target on C, degradation manager engaged. Owns everything a
+/// scenario needs so both the seed sweep and the fuzzer run through the
+/// exact same platform.
+struct Rig {
+  sim::Simulator& simulator;
+  sim::Trace trace;
+  model::ParsedSystem parsed;
+  std::unique_ptr<net::EthernetSwitch> backbone;
+  std::vector<std::unique_ptr<os::Ecu>> ecus;
+  std::unique_ptr<platform::DynamicPlatform> dp;
+  std::unique_ptr<platform::RedundancyManager> redundancy;
+  std::unique_ptr<platform::DegradationManager> degradation;
+  bool ok = false;
+
+  explicit Rig(sim::Simulator& sim) : simulator(sim) {
+    parsed = model::parse_system(kSystem);
+    backbone = std::make_unique<net::EthernetSwitch>(simulator, "eth",
+                                                     net::EthernetConfig{});
+    net::NodeId next_node = 1;
+    for (const auto& ecu_def : parsed.model.ecus()) {
+      os::EcuConfig config;
+      config.name = ecu_def.name;
+      config.cpu.mips = ecu_def.mips;
+      config.memory_bytes = ecu_def.memory_bytes;
+      ecus.push_back(std::make_unique<os::Ecu>(
+          simulator, config, backbone.get(), next_node++, &trace));
+    }
+    platform::NodeConfig node_config;
+    node_config.middleware.transport.reliable = true;
+    dp = std::make_unique<platform::DynamicPlatform>(simulator, parsed.model,
+                                                     parsed.deployment);
+    for (auto& ecu : ecus) dp->add_node(*ecu, node_config);
+    dp->register_app("Pilot", [] { return std::make_unique<PilotApp>(); });
+    dp->register_app("Aux", [] { return std::make_unique<AuxApp>(); });
+    if (!dp->install_all()) return;
+    redundancy = std::make_unique<platform::RedundancyManager>(*dp, "Pilot");
+    redundancy->engage();
+    degradation = std::make_unique<platform::DegradationManager>(*dp);
+    degradation->engage();
+    ok = true;
+  }
+
+  /// Classic E13 target set (every ECU + backbone, no overrun target):
+  /// identical to the pre-fuzzer bench, so Part B and the sweep keep their
+  /// historical per-seed fingerprints.
+  void add_classic_targets(fault::FaultCampaign& campaign) {
+    campaign.set_trace(&trace);
+    for (auto& ecu : ecus) campaign.add_ecu(*ecu);
+    campaign.add_medium(*backbone);
+  }
+
+  /// Fuzz target set: Pilot replica ECUs for crash/memory, the backbone
+  /// for network faults, Aux for overruns. ECU C stays out of the crash
+  /// pool so the raw overrun task handle can never dangle across a restart
+  /// (same rule as examples/chaos_campaign.cpp).
+  void add_targets(fault::FaultCampaign& campaign) {
+    campaign.set_trace(&trace);
+    campaign.add_ecu(*ecus[0]);
+    campaign.add_ecu(*ecus[1]);
+    campaign.add_medium(*backbone);
+    const platform::AppInstance* aux = dp->node("C")->instance("Aux");
+    campaign.add_overrun_target("C/churn", ecus[2]->processor(aux->core),
+                                aux->tasks[0]);
+  }
+
+  /// The invariants every fuzzed configuration must uphold -- deliberately
+  /// the *guaranteed* subset (loose 1 s outage bound, no stranded
+  /// reassembly, DA deadlines), so a violation is a real platform bug, not
+  /// an aggressive-bound artifact. Verdicts land in the trace's coverage
+  /// map; no bundle is dumped (empty recorder path).
+  fault::InvariantReport check_fuzz_invariants(std::uint64_t seed) {
+    fault::InvariantChecker checker;
+    checker.require_failover_outage_below(*redundancy, 1 * sim::kSecond);
+    checker.require_no_da_deadline_misses(*dp);
+    checker.require_no_stranded_reassembly(*dp);
+    fault::FlightRecorderConfig recorder;
+    recorder.trace = &trace;
+    recorder.seed = seed;
+    recorder.path.clear();  // coverage verdicts only
+    checker.set_flight_recorder(recorder);
+    return checker.run();
+  }
+};
+
 CampaignOutcome run_campaign(sim::Simulator& simulator, std::uint64_t seed) {
   bench::Stopwatch watch;
-  model::ParsedSystem parsed = model::parse_system(kSystem);
-  net::EthernetSwitch backbone(simulator, "eth", net::EthernetConfig{});
-  std::vector<std::unique_ptr<os::Ecu>> ecus;
-  net::NodeId next_node = 1;
-  for (const auto& ecu_def : parsed.model.ecus()) {
-    os::EcuConfig config;
-    config.name = ecu_def.name;
-    config.cpu.mips = ecu_def.mips;
-    config.memory_bytes = ecu_def.memory_bytes;
-    ecus.push_back(std::make_unique<os::Ecu>(simulator, config, &backbone,
-                                             next_node++, nullptr));
-  }
-  platform::NodeConfig node_config;
-  node_config.middleware.transport.reliable = true;
-  platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
-  for (auto& ecu : ecus) dp.add_node(*ecu, node_config);
-  dp.register_app("Pilot", [] { return std::make_unique<PilotApp>(); });
-  if (!dp.install_all()) return {};
-
-  platform::RedundancyManager redundancy(dp, "Pilot");
-  redundancy.engage();
+  Rig rig(simulator);
+  if (!rig.ok) return {};
 
   fault::CampaignConfig campaign_config;
   campaign_config.seed = seed;
   campaign_config.start = 200 * sim::kMillisecond;
   campaign_config.horizon = 3 * sim::kSecond;
   campaign_config.episodes = 6;
-  campaign_config.weight_overrun = 0.0;  // no overrun targets registered
+  campaign_config.weight_overrun = 0.0;  // no overrun target registered
   fault::FaultCampaign campaign(simulator, campaign_config);
-  for (auto& ecu : ecus) campaign.add_ecu(*ecu);
-  campaign.add_medium(backbone);
+  rig.add_classic_targets(campaign);
   campaign.generate();
   campaign.arm();
 
   simulator.run_until(4 * sim::kSecond);
 
   fault::InvariantChecker checker;
-  checker.require_failover_outage_below(redundancy,
+  checker.require_failover_outage_below(*rig.redundancy,
                                         300 * sim::kMillisecond);
-  checker.require_no_da_deadline_misses(dp);
+  checker.require_no_da_deadline_misses(*rig.dp);
   // Detection limit: 3 missed heartbeats at 10 ms plus one supervisor tick.
-  checker.require_faults_detected(campaign, dp, &redundancy,
+  checker.require_faults_detected(campaign, *rig.dp, rig.redundancy.get(),
                                   40 * sim::kMillisecond);
-  checker.require_no_stranded_reassembly(dp);
+  checker.require_no_stranded_reassembly(*rig.dp);
 
   CampaignOutcome outcome;
   outcome.seed = seed;
   outcome.injected = campaign.injected().size();
-  outcome.failovers = redundancy.failovers().size();
-  for (const platform::FailoverEvent& event : redundancy.failovers()) {
+  outcome.failovers = rig.redundancy->failovers().size();
+  for (const platform::FailoverEvent& event : rig.redundancy->failovers()) {
     outcome.worst_outage_ms =
         std::max(outcome.worst_outage_ms, sim::to_ms(event.outage));
   }
@@ -221,7 +314,7 @@ CampaignOutcome run_campaign(sim::Simulator& simulator, std::uint64_t seed) {
   return outcome;
 }
 
-// --- Sweep mode: parallel seed sweep on ScenarioSweep -------------------------
+// --- Sweep mode: serial vs thread pool vs process shards ----------------------
 
 struct SweepRun {
   std::size_t threads = 0;
@@ -249,41 +342,101 @@ SweepRun run_seed_sweep(std::size_t threads, std::size_t seeds) {
   return result;
 }
 
-int sweep_main() {
-  bench::banner("E13s", "parallel 32-seed campaign sweep (ScenarioSweep)");
-  constexpr std::size_t kSeeds = 32;
+struct ProcessRun {
+  std::size_t shards = 0;  ///< 0 = inline serial baseline
+  double wall_ms = 0.0;
+  std::vector<std::uint64_t> fingerprints;
+  std::size_t passed = 0;
+  std::uint64_t merged = 0;
+  fault::ShardStats stats;
+};
 
-  const SweepRun serial = run_seed_sweep(1, kSeeds);
-  const SweepRun parallel = run_seed_sweep(8, kSeeds);
+ProcessRun run_process_sweep(std::size_t shards, std::size_t seeds) {
+  ProcessRun result;
+  result.shards = shards;
+  fault::ProcessSweep sweep({shards});
+  bench::Stopwatch watch;
+  const std::vector<std::string> blobs =
+      sweep.run(seeds, [](std::size_t index) {
+        sim::Simulator simulator;
+        const CampaignOutcome outcome = run_campaign(simulator, index + 1);
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "{\"fp\":\"%016llx\",\"passed\":%s}",
+                      static_cast<unsigned long long>(outcome.fingerprint),
+                      outcome.invariants_passed ? "true" : "false");
+        return std::string(buf);
+      });
+  result.wall_ms = watch.elapsed_ms();
+  result.stats = sweep.stats();
+  for (const std::string& blob : blobs) {
+    obs::json::Value doc;
+    if (!obs::json::parse(blob, &doc)) continue;
+    result.fingerprints.push_back(
+        std::strtoull(doc.at("fp").string.c_str(), nullptr, 16));
+    if (doc.at("passed").boolean) ++result.passed;
+  }
+  result.merged = sim::ScenarioSweep::merge_fingerprints(result.fingerprints);
+  return result;
+}
 
-  bool identical = serial.merged == parallel.merged &&
-                   serial.outcomes.size() == parallel.outcomes.size();
+int sweep_main(std::size_t seeds, std::size_t threads) {
+  bench::banner("E13s", "parallel campaign sweep: threads vs process shards");
+  std::printf("seeds=%zu  parallel arm=%zu workers\n\n", seeds, threads);
+
+  const SweepRun serial = run_seed_sweep(1, seeds);
+  const SweepRun pooled = run_seed_sweep(threads, seeds);
+  const ProcessRun forked_serial = run_process_sweep(0, seeds);
+  const ProcessRun forked = run_process_sweep(threads, seeds);
+
+  bool identical = serial.merged == pooled.merged &&
+                   serial.merged == forked_serial.merged &&
+                   serial.merged == forked.merged &&
+                   serial.outcomes.size() == pooled.outcomes.size() &&
+                   forked.fingerprints.size() == serial.outcomes.size();
   for (std::size_t i = 0; identical && i < serial.outcomes.size(); ++i) {
     identical = serial.outcomes[i].fingerprint ==
-                    parallel.outcomes[i].fingerprint &&
+                    pooled.outcomes[i].fingerprint &&
+                serial.outcomes[i].fingerprint == forked.fingerprints[i] &&
                 serial.outcomes[i].invariants_passed ==
-                    parallel.outcomes[i].invariants_passed;
+                    pooled.outcomes[i].invariants_passed;
   }
 
-  bench::Table table({"threads", "seeds", "wall_ms", "merged_fingerprint",
-                      "invariants"});
-  for (const SweepRun* run : {&serial, &parallel}) {
-    std::size_t passed = 0;
-    for (const CampaignOutcome& o : run->outcomes) {
-      if (o.invariants_passed) ++passed;
-    }
-    char fp[32];
-    std::snprintf(fp, sizeof(fp), "%016llx",
-                  static_cast<unsigned long long>(run->merged));
-    table.row({bench::fmt(run->threads), bench::fmt(run->outcomes.size()),
-               bench::fmt(run->wall_ms, 1), fp,
-               bench::fmt(passed) + "/" + bench::fmt(run->outcomes.size())});
+  std::size_t passed = 0;
+  for (const CampaignOutcome& o : serial.outcomes) {
+    if (o.invariants_passed) ++passed;
   }
-  const double speedup = serial.wall_ms / parallel.wall_ms;
-  std::printf("\nper-seed fingerprints %s across thread counts; speedup %.2fx "
-              "(host has %zu hardware threads)\n",
-              identical ? "bit-identical" : "DIVERGED", speedup,
-              concurrency::ThreadPool::hardware_threads());
+
+  bench::Table table({"driver", "workers", "wall_ms", "merged_fingerprint"});
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(serial.merged));
+  table.row({"threads", "1", bench::fmt(serial.wall_ms, 1), fp});
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(pooled.merged));
+  table.row({"threads", bench::fmt(threads), bench::fmt(pooled.wall_ms, 1),
+             fp});
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(forked_serial.merged));
+  table.row({"fork-inline", "1", bench::fmt(forked_serial.wall_ms, 1), fp});
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(forked.merged));
+  table.row({"fork", bench::fmt(forked.shards), bench::fmt(forked.wall_ms, 1),
+             fp});
+
+  std::printf("\nper-shard distribution (fork, %zu workers):\n",
+              forked.stats.jobs.size());
+  for (std::size_t w = 0; w < forked.stats.jobs.size(); ++w) {
+    std::printf("  shard %zu: %zu jobs, %.1f ms busy\n", w,
+                forked.stats.jobs[w], forked.stats.busy_ms[w]);
+  }
+  const std::size_t hw = concurrency::ThreadPool::hardware_threads();
+  const double thread_speedup = serial.wall_ms / pooled.wall_ms;
+  const double fork_speedup = forked_serial.wall_ms / forked.wall_ms;
+  std::printf("\nfingerprints %s across all four drivers; invariants %zu/%zu; "
+              "thread speedup %.2fx, fork speedup %.2fx (host has %zu "
+              "hardware threads)\n",
+              identical ? "bit-identical" : "DIVERGED", passed,
+              serial.outcomes.size(), thread_speedup, fork_speedup, hw);
   if (!identical) return 1;
 
   std::FILE* f = std::fopen("BENCH_fault_sweep.json", "w");
@@ -291,37 +444,323 @@ int sweep_main() {
     std::fprintf(stderr, "cannot write BENCH_fault_sweep.json\n");
     return 1;
   }
-  const std::size_t hw = concurrency::ThreadPool::hardware_threads();
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E13s_parallel_seed_sweep\",\n");
-  std::fprintf(f, "  \"seeds\": %zu,\n", kSeeds);
+  std::fprintf(f, "  \"seeds\": %zu,\n", seeds);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
-  std::fprintf(f, "  \"sweep_thread_counts\": [1, 8],\n");
+  std::fprintf(f, "  \"parallel_workers\": %zu,\n", threads);
   utsname host{};
   if (uname(&host) == 0) {
     std::fprintf(f, "  \"host\": \"%s %s %s\",\n", host.sysname, host.release,
                  host.machine);
   }
   // An A/B on a box with fewer hardware threads than the parallel arm
-  // measures thread-pool overhead, not speedup — flag it so readers don't
+  // measures pool/fork overhead, not speedup -- flag it so readers don't
   // quote the number as a parallelism result.
-  std::fprintf(f, "  \"speedup_meaningful\": %s,\n", hw >= 8 ? "true" : "false");
+  std::fprintf(f, "  \"speedup_meaningful\": %s,\n",
+               hw >= threads ? "true" : "false");
   std::fprintf(f, "  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"invariants_passed\": %zu,\n", passed);
   std::fprintf(f, "  \"merged_fingerprint\": \"%016llx\",\n",
                static_cast<unsigned long long>(serial.merged));
   std::fprintf(f, "  \"wall_ms_1_thread\": %.2f,\n", serial.wall_ms);
-  std::fprintf(f, "  \"wall_ms_8_threads\": %.2f,\n", parallel.wall_ms);
-  std::fprintf(f, "  \"speedup\": %.2f\n", speedup);
-  std::fprintf(f, "}\n");
+  std::fprintf(f, "  \"wall_ms_%zu_threads\": %.2f,\n", threads,
+               pooled.wall_ms);
+  std::fprintf(f, "  \"thread_speedup\": %.2f,\n", thread_speedup);
+  std::fprintf(f, "  \"wall_ms_fork_inline\": %.2f,\n", forked_serial.wall_ms);
+  std::fprintf(f, "  \"wall_ms_fork_%zu_shards\": %.2f,\n", forked.shards,
+               forked.wall_ms);
+  std::fprintf(f, "  \"fork_speedup\": %.2f,\n", fork_speedup);
+  std::fprintf(f, "  \"per_shard\": [");
+  for (std::size_t w = 0; w < forked.stats.jobs.size(); ++w) {
+    std::fprintf(f, "%s\n    {\"shard\": %zu, \"jobs\": %zu, "
+                 "\"busy_ms\": %.2f}", w == 0 ? "" : ",", w,
+                 forked.stats.jobs[w], forked.stats.busy_ms[w]);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_fault_sweep.json\n");
+  return 0;
+}
+
+// --- Fuzz mode (E20): coverage-guided search vs blind sweep -------------------
+
+/// One fuzz scenario: fresh rig, campaign from `config`, loose invariants,
+/// coverage snapshot out. A pure function of the config -- the scheduler's
+/// replay/shard contract.
+fault::FuzzRunResult run_fuzz_scenario(const fault::CampaignConfig& config) {
+  sim::Simulator simulator;
+  Rig rig(simulator);
+  fault::FuzzRunResult result;
+  if (!rig.ok) return result;
+  fault::FaultCampaign campaign(simulator, config);
+  rig.add_targets(campaign);
+  campaign.generate();
+  campaign.arm();
+  simulator.run_until(config.start + config.horizon + 1 * sim::kSecond);
+  const fault::InvariantReport report =
+      rig.check_fuzz_invariants(config.seed);
+  result.invariants_passed = report.passed;
+  for (const fault::InvariantResult& r : report.results) {
+    if (!r.passed) {
+      result.violated = r.name;
+      result.detail = r.detail;
+      break;
+    }
+  }
+  result.fingerprint = campaign.fingerprint();
+  result.coverage.merge_from(rig.trace.coverage());
+  return result;
+}
+
+fault::CampaignConfig fuzz_base_config() {
+  fault::CampaignConfig base;
+  base.seed = 1;
+  base.start = 200 * sim::kMillisecond;
+  base.horizon = 3 * sim::kSecond;
+  base.episodes = 6;
+  base.weight_overrun = 0.0;  // the fuzzer has to *discover* this family
+  return base;
+}
+
+/// Scripted-plan probe for the minimizer: same rig, explicit plan, tight
+/// outage bound (any failover violates), horizon as absolute end time.
+fault::ProbeVerdict run_scripted_probe(const std::vector<fault::FaultEvent>& plan,
+                                       sim::Duration horizon) {
+  sim::Simulator simulator;
+  Rig rig(simulator);
+  fault::ProbeVerdict verdict;
+  if (!rig.ok) return verdict;
+  fault::FaultCampaign campaign(simulator, fault::CampaignConfig{});
+  rig.add_targets(campaign);
+  for (const fault::FaultEvent& event : plan) campaign.schedule(event);
+  campaign.arm();
+  simulator.run_until(horizon);
+  fault::InvariantChecker checker;
+  checker.require_failover_outage_below(*rig.redundancy,
+                                        1 * sim::kMillisecond);
+  const fault::InvariantReport report = checker.run();
+  for (const fault::InvariantResult& r : report.results) {
+    if (!r.passed) {
+      verdict.violated = true;
+      verdict.invariant = r.name;
+      verdict.detail = r.detail;
+      break;
+    }
+  }
+  return verdict;
+}
+
+int fuzz_main() {
+  bench::banner("E20", "coverage-guided chaos fuzzing vs blind seed sweep");
+
+  fault::FuzzConfig fuzz_config;
+  fuzz_config.master_seed = 1;
+  fuzz_config.base = fuzz_base_config();
+  fuzz_config.rounds = 12;
+  fuzz_config.batch = 8;
+  const std::size_t budget =
+      1 + static_cast<std::size_t>(fuzz_config.rounds * fuzz_config.batch);
+
+  // --- Blind arm: same base, same budget, only the seed varies ---------------
+  bench::Stopwatch blind_watch;
+  obs::CoverageMap blind_cov;
+  std::vector<std::size_t> blind_timeline;
+  std::size_t blind_violations = 0;
+  for (std::size_t i = 0; i < budget; ++i) {
+    fault::CampaignConfig config = fuzz_config.base;
+    config.seed = i + 1;
+    const fault::FuzzRunResult r = run_fuzz_scenario(config);
+    if (!r.invariants_passed) ++blind_violations;
+    blind_cov.merge_from(r.coverage);
+    blind_timeline.push_back(blind_cov.unique_hit_count());
+  }
+  const double blind_ms = blind_watch.elapsed_ms();
+
+  // --- Fuzz arm: coverage-guided search, same budget -------------------------
+  bench::Stopwatch fuzz_watch;
+  fault::FuzzScheduler fuzzer(fuzz_config, run_fuzz_scenario);
+  fuzzer.run();
+  const double fuzz_ms = fuzz_watch.elapsed_ms();
+
+  const std::size_t blind_keys = blind_cov.unique_hit_count();
+  const std::size_t fuzz_keys = fuzzer.unique_keys();
+  std::printf("budget: %zu scenarios per arm\n", budget);
+  std::printf("blind sweep:  %zu unique coverage keys, %zu violations, "
+              "%.1f ms\n", blind_keys, blind_violations, blind_ms);
+  std::printf("fuzz search:  %zu unique coverage keys, %zu failures, "
+              "%.1f ms, corpus %zu\n", fuzz_keys, fuzzer.failures().size(),
+              fuzz_ms, fuzzer.corpus().size());
+  const bool more_coverage = fuzz_keys > blind_keys;
+  std::printf("coverage gate: fuzz %s blind (+%zd keys)\n",
+              more_coverage ? ">" : "<=",
+              static_cast<std::ptrdiff_t>(fuzz_keys) -
+                  static_cast<std::ptrdiff_t>(blind_keys));
+
+  // --- Shard determinism: same search at 2 and 3 worker processes ------------
+  bool shards_identical = true;
+  const std::string serial_journal = fuzzer.journal_json();
+  const std::uint64_t serial_cov_fp = fuzzer.coverage().fingerprint();
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{3}}) {
+    fault::FuzzConfig sharded_config = fuzz_config;
+    sharded_config.shards = shards;
+    fault::FuzzScheduler sharded(sharded_config, run_fuzz_scenario);
+    sharded.run();
+    const bool same = sharded.journal_json() == serial_journal &&
+                      sharded.coverage().fingerprint() == serial_cov_fp;
+    std::printf("shards=%zu: journal+coverage %s serial\n", shards,
+                same ? "bit-identical to" : "DIVERGED from");
+    shards_identical = shards_identical && same;
+  }
+
+  // --- Minimization demo: shrink a known-failing campaign --------------------
+  // A deliberately tight outage bound (1 ms -- any failover violates) makes
+  // the failure guaranteed, so the demo exercises the minimizer machinery
+  // end to end without depending on the fuzzer having found a real bug.
+  fault::CampaignConfig demo = fuzz_base_config();
+  demo.seed = 3;
+  demo.episodes = 10;
+  std::vector<fault::FaultEvent> demo_plan;
+  {
+    sim::Simulator simulator;
+    Rig rig(simulator);
+    fault::FaultCampaign campaign(simulator, demo);
+    rig.add_targets(campaign);
+    campaign.generate();
+    demo_plan = campaign.plan();
+  }
+  const sim::Duration demo_horizon = demo.start + demo.horizon +
+                                     1 * sim::kSecond;
+  fault::Minimizer minimizer({}, run_scripted_probe);
+  bench::Stopwatch min_watch;
+  fault::Repro repro = minimizer.minimize(demo_plan, demo_horizon);
+  const double min_ms = min_watch.elapsed_ms();
+  repro.seed = demo.seed;
+  bool repro_retrips = false;
+  if (repro.failing) {
+    fault::write_repro_file(repro, "fuzz_repro.json");
+    // Round-trip: load the JSON back and replay it -- the repro must trip
+    // the *same* invariant from the serialized form alone.
+    std::string text = fault::repro_json(repro);
+    fault::Repro loaded;
+    if (fault::load_repro(text, &loaded)) {
+      const fault::ProbeVerdict verdict =
+          run_scripted_probe(loaded.plan, loaded.horizon);
+      repro_retrips = verdict.violated && verdict.invariant == repro.invariant;
+    }
+    std::printf("\nminimization demo: %zu events -> %zu, horizon %.2fs -> "
+                "%.2fs, %zu probe runs, %.1f ms; repro %s (%s)\n",
+                repro.original_events, repro.plan.size(),
+                sim::to_s(demo_horizon), sim::to_s(repro.horizon),
+                repro.runs_used, min_ms,
+                repro_retrips ? "re-trips" : "FAILED to re-trip",
+                repro.invariant.c_str());
+  } else {
+    std::printf("\nminimization demo: campaign did not fail (unexpected)\n");
+  }
+
+  // --- Artifacts --------------------------------------------------------------
+  std::FILE* journal = std::fopen("fuzz_coverage.json", "w");
+  if (journal != nullptr) {
+    std::fputs(serial_journal.c_str(), journal);
+    std::fclose(journal);
+  }
+
+  const std::size_t hw = concurrency::ThreadPool::hardware_threads();
+  std::FILE* f = std::fopen("BENCH_fuzz.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fuzz.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"E20_coverage_guided_fuzz\",\n");
+  std::fprintf(f, "  \"master_seed\": %llu,\n",
+               static_cast<unsigned long long>(fuzz_config.master_seed));
+  std::fprintf(f, "  \"budget_scenarios\": %zu,\n", budget);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(f, "  \"blind\": {\"unique_keys\": %zu, \"violations\": %zu, "
+               "\"wall_ms\": %.1f},\n", blind_keys, blind_violations,
+               blind_ms);
+  std::fprintf(f, "  \"fuzz\": {\"unique_keys\": %zu, \"failures\": %zu, "
+               "\"wall_ms\": %.1f, \"corpus\": %zu, \"rounds\": %d, "
+               "\"batch\": %d},\n", fuzz_keys, fuzzer.failures().size(),
+               fuzz_ms, fuzzer.corpus().size(), fuzzer.rounds_completed(),
+               fuzz_config.batch);
+  std::fprintf(f, "  \"scenarios_per_sec\": %.1f,\n",
+               1000.0 * static_cast<double>(budget) / fuzz_ms);
+  std::fprintf(f, "  \"strictly_more_coverage\": %s,\n",
+               more_coverage ? "true" : "false");
+  std::fprintf(f, "  \"coverage_timeline_blind\": [");
+  for (std::size_t i = 0; i < blind_timeline.size(); ++i) {
+    std::fprintf(f, "%s%zu", i == 0 ? "" : ", ", blind_timeline[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"coverage_timeline_fuzz\": [");
+  for (std::size_t i = 0; i < fuzzer.timeline().size(); ++i) {
+    std::fprintf(f, "%s%zu", i == 0 ? "" : ", ", fuzzer.timeline()[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"shard_determinism\": {\"counts\": [0, 2, 3], "
+               "\"bit_identical\": %s, \"coverage_fingerprint\": "
+               "\"%016llx\"},\n", shards_identical ? "true" : "false",
+               static_cast<unsigned long long>(serial_cov_fp));
+  std::fprintf(f, "  \"minimization_demo\": {\"failing\": %s, "
+               "\"invariant\": \"%s\", \"original_events\": %zu, "
+               "\"minimized_events\": %zu, \"original_horizon_ns\": %llu, "
+               "\"minimized_horizon_ns\": %llu, \"probe_runs\": %zu, "
+               "\"wall_ms\": %.1f, \"repro_file\": \"fuzz_repro.json\", "
+               "\"repro_retrips\": %s}\n", repro.failing ? "true" : "false",
+               repro.invariant.c_str(), repro.original_events,
+               repro.plan.size(),
+               static_cast<unsigned long long>(demo_horizon),
+               static_cast<unsigned long long>(repro.horizon),
+               repro.runs_used, min_ms, repro_retrips ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_fuzz.json, fuzz_coverage.json, fuzz_repro.json\n");
+
+  // E20 gates, in CI-smoke order of severity: a fuzz-found invariant
+  // violation is a platform bug; the rest are fuzzer regressions.
+  if (!fuzzer.failures().empty()) {
+    std::fprintf(stderr, "FUZZ GATE: %zu invariant violation(s) found -- "
+                 "first: %s (%s)\n", fuzzer.failures().size(),
+                 fuzzer.failures()[0].violated.c_str(),
+                 fuzzer.failures()[0].detail.c_str());
+    return 2;
+  }
+  if (!more_coverage || !shards_identical || !repro_retrips) return 1;
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--sweep") == 0) return sweep_main();
+  bool sweep = false;
+  bool fuzz = false;
+  std::size_t seeds = 32;
+  std::size_t threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--fuzz") == 0) {
+      fuzz = true;
+    } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      seeds = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fault [--sweep [--seeds=K] [--threads=N] | "
+                   "--fuzz]\n");
+      return 1;
+    }
+  }
+  if (seeds == 0 || threads == 0) {
+    std::fprintf(stderr, "--seeds and --threads must be positive\n");
+    return 1;
+  }
+  if (fuzz) return fuzz_main();
+  if (sweep) return sweep_main(seeds, threads);
   bench::banner("E13", "fault campaigns & reliable transport (Sec. 2.4/3.3)");
 
   std::printf("\n-- transport under uniform frame loss --\n");

@@ -45,6 +45,37 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+bool fault_kind_from_string(std::string_view name, FaultKind* out) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kMemoryRelease); ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == to_string(kind)) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_kind_end_of(FaultKind start, FaultKind* end) {
+  FaultKind paired;
+  switch (start) {
+    case FaultKind::kEcuCrash: paired = FaultKind::kEcuRestart; break;
+    case FaultKind::kBusPartition: paired = FaultKind::kBusHeal; break;
+    case FaultKind::kBabbleStart: paired = FaultKind::kBabbleEnd; break;
+    case FaultKind::kBurstLossStart: paired = FaultKind::kBurstLossEnd; break;
+    case FaultKind::kCorruptionStart:
+      paired = FaultKind::kCorruptionEnd;
+      break;
+    case FaultKind::kTaskOverrun: paired = FaultKind::kTaskOverrunEnd; break;
+    case FaultKind::kMemoryPressure:
+      paired = FaultKind::kMemoryRelease;
+      break;
+    default: return false;
+  }
+  if (end != nullptr) *end = paired;
+  return true;
+}
+
 FaultCampaign::FaultCampaign(sim::Simulator& simulator, CampaignConfig config)
     : sim_(simulator), config_(config) {}
 
@@ -141,6 +172,13 @@ void FaultCampaign::generate() {
             std::max<sim::Duration>(
                 config_.max_duration - config_.min_duration, 1))));
     const double intensity = rng.uniform01();
+    // Post-draw magnitude shaping: scale 1.0 must be the exact identity
+    // (bit-for-bit legacy plans), so the clamp only engages when the
+    // fuzzer actually dialed the scale away from 1.0.
+    const auto shaped = [this](double base, double lo, double hi) {
+      if (config_.magnitude_scale == 1.0) return base;
+      return std::clamp(base * config_.magnitude_scale, lo, hi);
+    };
 
     FaultEvent start;
     start.at = t0;
@@ -154,7 +192,7 @@ void FaultCampaign::generate() {
       case FaultKind::kMemoryPressure:
         start.target = end.target = ecus_[target_index]->name();
         start.magnitude = family.start == FaultKind::kMemoryPressure
-                              ? 0.5 + 0.4 * intensity
+                              ? shaped(0.5 + 0.4 * intensity, 0.05, 0.95)
                               : 0.0;
         break;
       case FaultKind::kBusPartition: {
@@ -162,8 +200,16 @@ void FaultCampaign::generate() {
         start.target = end.target = medium->name();
         const auto nodes = medium->attached_nodes();
         if (nodes.size() >= 2) {
-          const std::size_t island_size =
+          std::size_t island_size =
               1 + static_cast<std::size_t>(rng.next_below(nodes.size() - 1));
+          if (config_.partition_fraction > 0.0) {
+            // Draw-sequence-neutral override: the random size above was
+            // still consumed, the topology bias just replaces the value.
+            island_size = std::clamp<std::size_t>(
+                static_cast<std::size_t>(config_.partition_fraction *
+                                         static_cast<double>(nodes.size())),
+                1, nodes.size() - 1);
+          }
           start.island.insert(nodes.begin(),
                               nodes.begin() +
                                   static_cast<std::ptrdiff_t>(island_size));
@@ -172,19 +218,22 @@ void FaultCampaign::generate() {
       }
       case FaultKind::kBabbleStart:
         start.target = end.target = media_[target_index]->name();
-        start.magnitude = 5.0 + 15.0 * intensity;  // frames per millisecond
+        // frames per millisecond
+        start.magnitude = shaped(5.0 + 15.0 * intensity, 0.5, 200.0);
         break;
       case FaultKind::kBurstLossStart:
         start.target = end.target = media_[target_index]->name();
-        start.magnitude = 0.5 + 0.5 * intensity;  // loss prob in Bad state
+        // loss prob in Bad state
+        start.magnitude = shaped(0.5 + 0.5 * intensity, 0.05, 0.995);
         break;
       case FaultKind::kCorruptionStart:
         start.target = end.target = media_[target_index]->name();
-        start.magnitude = 0.05 + 0.15 * intensity;
+        start.magnitude = shaped(0.05 + 0.15 * intensity, 0.005, 0.9);
         break;
       case FaultKind::kTaskOverrun:
         start.target = end.target = overruns_[target_index].first;
-        start.magnitude = 1.5 + 2.5 * intensity;  // execution-time scale
+        // execution-time scale
+        start.magnitude = shaped(1.5 + 2.5 * intensity, 1.1, 64.0);
         break;
       default:
         break;
@@ -230,10 +279,16 @@ net::Medium* FaultCampaign::medium_by_name(const std::string& name) {
 void FaultCampaign::execute(const FaultEvent& event) {
   FaultEvent logged = event;
   logged.at = sim_.now();
-  if (trace_ != nullptr && trace_->enabled(sim::TraceCategory::kFault)) {
-    trace_->record(logged.at, sim::TraceCategory::kFault,
-                   "fault/" + event.target, to_string(event.kind),
-                   static_cast<std::int64_t>(event.magnitude * 1000.0));
+  if (trace_ != nullptr) {
+    if (trace_->enabled(sim::TraceCategory::kFault)) {
+      trace_->record(logged.at, sim::TraceCategory::kFault,
+                     "fault/" + event.target, to_string(event.kind),
+                     static_cast<std::int64_t>(event.magnitude * 1000.0));
+    }
+    // Which fault kinds actually fired is itself state coverage: the fuzzer
+    // rewards plans that exercise families a blind sweep's weights skip.
+    trace_->coverage().hit(std::string("fault.injected.") +
+                           to_string(event.kind));
   }
 
   switch (event.kind) {

@@ -54,6 +54,15 @@ enum class FaultKind : std::uint8_t {
 
 const char* to_string(FaultKind kind);
 
+/// Inverse of to_string (exact match); returns false for unknown names.
+/// Used by the repro/journal JSON loaders.
+bool fault_kind_from_string(std::string_view name, FaultKind* out);
+
+/// The End/heal kind paired with a Start kind (kEcuCrash -> kEcuRestart,
+/// ...); returns false for kinds that are themselves End events. The
+/// minimizer uses this to keep Start/End pairs together as one episode.
+bool fault_kind_end_of(FaultKind start, FaultKind* end);
+
 struct FaultEvent {
   sim::Time at = 0;
   FaultKind kind = FaultKind::kEcuCrash;
@@ -88,6 +97,18 @@ struct CampaignConfig {
   double weight_corruption = 1.0;
   double weight_overrun = 1.0;
   double weight_memory = 1.0;
+  /// Post-draw scale applied to generated episode magnitudes (burst loss
+  /// probability, babble rate, corruption rate, overrun factor, memory
+  /// fraction), clamped to each family's sane range. The RNG draw sequence
+  /// is untouched, so 1.0 is the exact identity: legacy plans and
+  /// fingerprints are bit-for-bit unchanged. The fuzzer mutates this to
+  /// push intensities past what the seeded ranges alone can reach.
+  double magnitude_scale = 1.0;
+  /// Overrides the island size of generated bus partitions as a fraction
+  /// of the attached nodes (clamped to [1, n-1]); 0 keeps the seeded
+  /// random island size. Again draw-sequence-neutral, so 0 is the exact
+  /// identity. Lets the fuzzer steer partition topology.
+  double partition_fraction = 0.0;
 };
 
 class FaultCampaign {

@@ -230,7 +230,10 @@ InvariantReport InvariantChecker::run() const {
       // First violation wins the bundle: later failures in the same run (or
       // later runs of the same checker) are usually cascade noise from the
       // same root cause, and the earliest state snapshot is the closest to it.
-      if (recorder_.trace != nullptr && !dumped_) {
+      // An empty path means "coverage verdicts only, no bundle" — the fuzz
+      // scheduler runs thousands of campaigns and dumps bundles itself,
+      // only for the failures that survive minimization.
+      if (recorder_.trace != nullptr && !recorder_.path.empty() && !dumped_) {
         obs::PostMortemInput input;
         input.trace = &recorder_.trace->buffer();
         input.metrics = &recorder_.trace->metrics();

@@ -1,0 +1,241 @@
+#include "fault/shard.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DYNAPLAT_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define DYNAPLAT_HAS_FORK 0
+#endif
+
+namespace dynaplat::fault {
+
+namespace {
+
+#if DYNAPLAT_HAS_FORK
+
+/// Parent -> child "no more work" sentinel.
+constexpr std::uint64_t kQuit = ~0ull;
+
+bool read_exact(int fd, void* buffer, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(buffer);
+  while (size > 0) {
+    const ssize_t got = ::read(fd, bytes, size);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    bytes += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buffer, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(buffer);
+  while (size > 0) {
+    const ssize_t put = ::write(fd, bytes, size);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      return false;
+    }
+    bytes += put;
+    size -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// Child main loop: pull an index, run the job, stream the result back as
+/// [index u64][busy_ms double][size u64][bytes]. Exits the process — never
+/// returns into the caller's stack (gtest, bench main, ...).
+[[noreturn]] void child_loop(int fd, const ShardJob& job) {
+  for (;;) {
+    std::uint64_t index = 0;
+    if (!read_exact(fd, &index, sizeof(index))) ::_exit(2);
+    if (index == kQuit) ::_exit(0);
+    const auto started = std::chrono::steady_clock::now();
+    std::string blob;
+    try {
+      blob = job(static_cast<std::size_t>(index));
+    } catch (...) {
+      ::_exit(3);  // parent sees EOF and reports the dead shard
+    }
+    const double busy_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    const std::uint64_t size = blob.size();
+    if (!write_exact(fd, &index, sizeof(index)) ||
+        !write_exact(fd, &busy_ms, sizeof(busy_ms)) ||
+        !write_exact(fd, &size, sizeof(size)) ||
+        !write_exact(fd, blob.data(), blob.size())) {
+      ::_exit(2);
+    }
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  bool live = false;
+};
+
+void reap(std::vector<Worker>& workers) {
+  for (Worker& worker : workers) {
+    if (worker.fd >= 0) ::close(worker.fd);
+    worker.fd = -1;
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+#endif  // DYNAPLAT_HAS_FORK
+
+}  // namespace
+
+ProcessSweep::ProcessSweep(ShardConfig config) : config_(config) {}
+
+bool ProcessSweep::supported() { return DYNAPLAT_HAS_FORK != 0; }
+
+std::vector<std::string> ProcessSweep::run_inline(std::size_t n,
+                                                  const ShardJob& job) {
+  std::vector<std::string> results(n);
+  stats_.jobs.assign(1, n);
+  stats_.busy_ms.assign(1, 0.0);
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) results[i] = job(i);
+  stats_.busy_ms[0] = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  return results;
+}
+
+std::vector<std::string> ProcessSweep::run(std::size_t n,
+                                           const ShardJob& job) {
+#if DYNAPLAT_HAS_FORK
+  const std::size_t shards = std::min(config_.shards, n);
+  if (shards < 1) return run_inline(n, job);
+
+  std::vector<Worker> workers(shards);
+  stats_.jobs.assign(shards, 0);
+  stats_.busy_ms.assign(shards, 0.0);
+  for (std::size_t w = 0; w < shards; ++w) {
+    int pair[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+      reap(workers);
+      throw std::runtime_error("ProcessSweep: socketpair failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pair[0]);
+      ::close(pair[1]);
+      reap(workers);
+      throw std::runtime_error("ProcessSweep: fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop the parent ends we inherited, keep only our socket.
+      for (const Worker& other : workers) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      ::close(pair[0]);
+      child_loop(pair[1], job);
+    }
+    ::close(pair[1]);
+    workers[w] = {pid, pair[0], true};
+  }
+
+  std::vector<std::string> results(n);
+  std::vector<bool> done(n, false);
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  auto dispatch = [&](Worker& worker) -> bool {
+    const std::uint64_t index = next < n ? next++ : kQuit;
+    if (!write_exact(worker.fd, &index, sizeof(index))) return false;
+    if (index == kQuit) worker.live = false;
+    return true;
+  };
+  // Prime every worker with one job; from here on each finished job pulls
+  // the next index, so fast shards naturally steal the slow shards' share.
+  for (Worker& worker : workers) {
+    if (!dispatch(worker)) {
+      reap(workers);
+      throw std::runtime_error("ProcessSweep: worker rejected first job");
+    }
+  }
+
+  std::vector<pollfd> fds(shards);
+  while (completed < n) {
+    std::size_t live = 0;
+    for (std::size_t w = 0; w < shards; ++w) {
+      fds[w].fd = workers[w].live ? workers[w].fd : -1;
+      fds[w].events = POLLIN;
+      fds[w].revents = 0;
+      if (workers[w].live) ++live;
+    }
+    if (live == 0) break;
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      reap(workers);
+      throw std::runtime_error("ProcessSweep: poll failed");
+    }
+    for (std::size_t w = 0; w < shards; ++w) {
+      if (!workers[w].live || (fds[w].revents & (POLLIN | POLLHUP)) == 0) {
+        continue;
+      }
+      std::uint64_t index = 0;
+      double busy_ms = 0.0;
+      std::uint64_t size = 0;
+      if (!read_exact(workers[w].fd, &index, sizeof(index)) ||
+          !read_exact(workers[w].fd, &busy_ms, sizeof(busy_ms)) ||
+          !read_exact(workers[w].fd, &size, sizeof(size)) || index >= n) {
+        reap(workers);
+        throw std::runtime_error("ProcessSweep: shard " + std::to_string(w) +
+                                 " died mid-sweep");
+      }
+      std::string blob(size, '\0');
+      if (!read_exact(workers[w].fd, blob.data(), blob.size())) {
+        reap(workers);
+        throw std::runtime_error("ProcessSweep: truncated result from shard " +
+                                 std::to_string(w));
+      }
+      if (done[index]) {
+        reap(workers);
+        throw std::runtime_error("ProcessSweep: duplicate result for job " +
+                                 std::to_string(index));
+      }
+      results[index] = std::move(blob);
+      done[index] = true;
+      ++completed;
+      stats_.jobs[w] += 1;
+      stats_.busy_ms[w] += busy_ms;
+      if (!dispatch(workers[w])) {
+        reap(workers);
+        throw std::runtime_error("ProcessSweep: shard " + std::to_string(w) +
+                                 " rejected job");
+      }
+    }
+  }
+  reap(workers);
+  if (completed != n) {
+    throw std::runtime_error("ProcessSweep: sweep ended with " +
+                             std::to_string(n - completed) + " jobs missing");
+  }
+  return results;
+#else
+  return run_inline(n, job);
+#endif
+}
+
+}  // namespace dynaplat::fault

@@ -1,0 +1,70 @@
+// Process-level scenario sharding: a fork-based sweep driver with a
+// work-stealing job queue and index-ordered result merge.
+//
+// sim::ScenarioSweep parallelizes across *threads*, which is enough for
+// in-process determinism A/Bs but caps out where thread scaling is capped
+// (allocator contention, cgroup quotas, 1-thread CI boxes measuring pool
+// overhead). ProcessSweep forks real worker processes instead: each child
+// owns the whole address space copy, runs jobs one at a time, and streams
+// length-prefixed result blobs back over a socketpair. The parent hands
+// out job indices dynamically — an idle child pulls the next index the
+// moment it finishes, which is work stealing with the queue held on the
+// parent side — and stores blobs index-addressed, so the merged output is
+// a pure function of the job set, bit-identical to a serial in-process
+// run at any shard count.
+//
+// Jobs must be pure functions of their index (the ScenarioSweep contract):
+// the distribution order is timing-dependent, only the index->blob mapping
+// is promised. Blobs are opaque bytes; campaign sweeps serialize outcome
+// JSON, the fuzzer serializes coverage snapshots + verdicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dynaplat::fault {
+
+struct ShardConfig {
+  /// Worker processes. 0 runs every job inline on the calling process —
+  /// the same code path minus fork, so 0 vs N shards is a determinism A/B.
+  std::size_t shards = 0;
+};
+
+/// Maps a job index to an opaque result blob. Runs in the child process
+/// (or inline when shards == 0); must not depend on anything but `index`.
+using ShardJob = std::function<std::string(std::size_t index)>;
+
+/// Per-shard accounting from the last run(): how many jobs each worker
+/// pulled and how long it was busy (child-measured, so parent-side IO wait
+/// is excluded). Inline runs report one pseudo-shard.
+struct ShardStats {
+  std::vector<std::size_t> jobs;
+  std::vector<double> busy_ms;
+};
+
+class ProcessSweep {
+ public:
+  explicit ProcessSweep(ShardConfig config);
+
+  /// Runs jobs [0, n) across the worker pool (forked per call, reaped
+  /// before returning) and returns the blobs in index order. Throws
+  /// std::runtime_error if a worker dies or the pipe protocol breaks.
+  std::vector<std::string> run(std::size_t n, const ShardJob& job);
+
+  const ShardStats& stats() const { return stats_; }
+  std::size_t shards() const { return config_.shards; }
+
+  /// False on platforms without fork(); run() then always executes inline.
+  static bool supported();
+
+ private:
+  std::vector<std::string> run_inline(std::size_t n, const ShardJob& job);
+
+  ShardConfig config_;
+  ShardStats stats_;
+};
+
+}  // namespace dynaplat::fault

@@ -1,7 +1,10 @@
 #include "obs/coverage.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+
+#include "obs/json.hpp"
 
 namespace dynaplat::obs {
 
@@ -18,6 +21,52 @@ std::uint32_t CoverageMap::key(std::string_view name) {
 std::uint64_t CoverageMap::count(std::string_view name) const {
   auto it = index_.find(std::string{name});
   return it == index_.end() ? 0 : counts_[it->second];
+}
+
+std::size_t CoverageMap::unique_hit_count() const {
+  std::size_t covered = 0;
+  for (const std::uint64_t count : counts_) {
+    if (count > 0) ++covered;
+  }
+  return covered;
+}
+
+std::uint64_t CoverageMap::fingerprint() const {
+  std::vector<std::size_t> order(names_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return names_[a] < names_[b];
+  });
+  std::uint64_t hash = 1469598103934665603ull;
+  auto fold = [&hash](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  for (std::size_t i : order) {
+    fold(names_[i].data(), names_[i].size());
+    fold(&counts_[i], sizeof(counts_[i]));
+  }
+  return hash;
+}
+
+bool CoverageMap::merge_snapshot_json(std::string_view json_text) {
+  json::Value doc;
+  if (!json::parse(json_text, &doc) || !doc.is_object()) return false;
+  for (const auto& [name, value] : doc.object) {
+    if (!value.is_number() || value.number < 0.0) return false;
+  }
+  for (const auto& [name, value] : doc.object) {
+    const auto count = static_cast<std::uint64_t>(std::llround(value.number));
+    if (count == 0) {
+      key(name);  // preserve reached-key sets even at count 0
+    } else {
+      hit(key(name), count);
+    }
+  }
+  return true;
 }
 
 void CoverageMap::merge_from(const CoverageMap& other) {

@@ -39,6 +39,23 @@ class CoverageMap {
   std::size_t size() const { return names_.size(); }
   bool empty() const { return names_.empty(); }
 
+  /// Keys with a nonzero count — the *covered* states, as opposed to keys
+  /// that were merely interned by a hot-path key() pre-resolve. This is the
+  /// novelty measure the coverage-guided fuzzer scores runs by.
+  std::size_t unique_hit_count() const;
+
+  /// Order-independent FNV-1a over the sorted (name, count) pairs: two maps
+  /// with equal content fingerprint equally regardless of interning order,
+  /// so a process-sharded merge can be compared bit-for-bit against a
+  /// serial in-process one.
+  std::uint64_t fingerprint() const;
+
+  /// Merges a snapshot_json() document into this map (keys interned in the
+  /// document's sorted order) — the cross-process half of the shard-merge
+  /// protocol. Returns false (leaving the map untouched) on malformed
+  /// input.
+  bool merge_snapshot_json(std::string_view json);
+
   /// Adds every count in `other` into this map, interning keys as needed.
   /// Iterates `other` in its own interning order, so merging a fixed shard
   /// sequence in index order is deterministic regardless of how the shards

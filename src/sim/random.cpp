@@ -1,6 +1,7 @@
 #include "sim/random.hpp"
 
 #include <cmath>
+#include <initializer_list>
 
 namespace dynaplat::sim {
 namespace {
@@ -87,12 +88,25 @@ bool Random::chance(double p) { return uniform01() < p; }
 Random Random::fork() { return Random(next_u64()); }
 
 Random Random::stream(std::uint64_t seed, std::uint64_t stream_id) {
-  // Golden-ratio stride walks the splitmix64 counter to a per-stream
-  // position, one scramble decorrelates adjacent ids, and the Random
-  // constructor runs its own splitmix chain on top — so stream(s, 0)
-  // also differs from Random(s) and from fork()s of it.
-  std::uint64_t chain = seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
-  return Random(splitmix64(chain));
+  // FNV-1a over the little-endian bytes of the (seed, stream_id) pair,
+  // then a splitmix64 scramble (the Random constructor runs its own
+  // splitmix chain on top, so stream(s, 0) also differs from Random(s)
+  // and from fork()s of it). The offset basis is distinct from the
+  // campaign-fingerprint fold, so stream derivation and log hashing can
+  // never alias. Hashing the pair jointly replaces the old additive
+  // golden-ratio stride, which collided for *related* seeds:
+  // seed + γ·(i+1) made stream(s + γ, i) identical to stream(s, i + 1) —
+  // exactly the family the fuzzer's seed splicing walks through.
+  constexpr std::uint64_t kStreamFnvOffset = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kStreamFnvPrime = 0x100000001B3ULL;
+  std::uint64_t h = kStreamFnvOffset;
+  for (const std::uint64_t word : {seed, stream_id}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xFF;
+      h *= kStreamFnvPrime;
+    }
+  }
+  return Random(splitmix64(h));
 }
 
 }  // namespace dynaplat::sim

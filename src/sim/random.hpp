@@ -51,6 +51,9 @@ class Random {
   /// (s, i). Parallel workers each take their own stream so results stay
   /// reproducible regardless of thread count or scheduling (the seed-
   /// splitting scheme of the concurrency subsystem, see DESIGN.md).
+  /// The pair is hashed jointly (FNV-1a, distinct offset basis), so
+  /// streams stay decorrelated even across related seeds — e.g. the
+  /// spliced seeds the chaos fuzzer derives from corpus parents.
   static Random stream(std::uint64_t seed, std::uint64_t stream_id);
 
  private:

@@ -133,6 +133,40 @@ TEST(RandomStream, DeterministicAndDistinct) {
   EXPECT_NE(sim::Random::stream(99, 0).next_u64(), base.next_u64());
 }
 
+// Regression: the original stream() mixed seed and stream_id additively
+// (seed + stream_id * golden_ratio), so stream(s + gamma, i) collided with
+// stream(s, i + 1) — adjacent master seeds shared whole child streams. The
+// joint hash must keep every nearby (seed, stream) pair fully decorrelated
+// over a real draw prefix, not just the first value.
+TEST(RandomStream, AdjacentSeedsShareNoChildStreams) {
+  constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+  constexpr int kDraws = 64;
+  const auto prefix = [](sim::Random rng) {
+    std::vector<std::uint64_t> draws;
+    draws.reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) draws.push_back(rng.next_u64());
+    return draws;
+  };
+  for (const std::uint64_t seed : {1ull, 99ull, 0xDEADBEEFull}) {
+    // The historical collision pair, exactly.
+    EXPECT_NE(prefix(sim::Random::stream(seed + kGolden, 0)),
+              prefix(sim::Random::stream(seed, 1)));
+    // And a dense neighborhood: nearby seeds crossed with nearby streams.
+    std::vector<std::vector<std::uint64_t>> seen;
+    for (std::uint64_t ds = 0; ds < 4; ++ds) {
+      for (std::uint64_t id = 0; id < 4; ++id) {
+        seen.push_back(prefix(sim::Random::stream(seed + ds, id)));
+      }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      for (std::size_t j = i + 1; j < seen.size(); ++j) {
+        EXPECT_NE(seen[i], seen[j]) << "seed=" << seed << " pair " << i
+                                    << "," << j;
+      }
+    }
+  }
+}
+
 // --- DSE determinism contract -------------------------------------------------
 
 model::ParsedSystem dse_system(int n_apps, int n_ecus) {

@@ -1,0 +1,139 @@
+// Tests for fault/shard.hpp: the fork-based ProcessSweep driver.
+//
+// The contract under test is the one the fuzzer and the bench sweep lean
+// on: jobs are pure functions of their index, blobs come back in index
+// order, and the merged output is bit-identical to a serial inline run at
+// any shard count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "fault/shard.hpp"
+#include "obs/coverage.hpp"
+
+namespace dynaplat::fault {
+namespace {
+
+std::string job_blob(std::size_t index) {
+  // Deterministic, index-only payload with embedded NULs and newlines to
+  // exercise the length-prefixed framing (no delimiter assumptions).
+  std::string blob = "job:" + std::to_string(index) + "\n";
+  blob.push_back('\0');
+  blob += std::string(index % 7, 'x');
+  return blob;
+}
+
+std::vector<std::string> run_with_shards(std::size_t shards, std::size_t n) {
+  ProcessSweep sweep(ShardConfig{shards});
+  return sweep.run(n, job_blob);
+}
+
+TEST(ProcessSweep, InlineRunReturnsBlobsInIndexOrder) {
+  const std::vector<std::string> blobs = run_with_shards(0, 9);
+  ASSERT_EQ(blobs.size(), 9u);
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    EXPECT_EQ(blobs[i], job_blob(i)) << "index " << i;
+  }
+}
+
+TEST(ProcessSweep, ShardMergeMatchesSerialAtAnyShardCount) {
+  if (!ProcessSweep::supported()) GTEST_SKIP() << "no fork() on this host";
+  const std::size_t n = 17;
+  const std::vector<std::string> serial = run_with_shards(0, n);
+  for (const std::size_t shards : {1u, 2u, 3u, 5u}) {
+    const std::vector<std::string> sharded = run_with_shards(shards, n);
+    EXPECT_EQ(sharded, serial) << "shards=" << shards;
+  }
+}
+
+TEST(ProcessSweep, ShardMergeHandlesEmptyAndSingletonJobSets) {
+  if (!ProcessSweep::supported()) GTEST_SKIP() << "no fork() on this host";
+  EXPECT_TRUE(run_with_shards(2, 0).empty());
+  const std::vector<std::string> one = run_with_shards(3, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], job_blob(0));
+}
+
+TEST(ProcessSweep, MoreShardsThanJobsStillMergesCleanly) {
+  if (!ProcessSweep::supported()) GTEST_SKIP() << "no fork() on this host";
+  const std::vector<std::string> blobs = run_with_shards(6, 3);
+  ASSERT_EQ(blobs.size(), 3u);
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    EXPECT_EQ(blobs[i], job_blob(i));
+  }
+}
+
+TEST(ProcessSweep, StatsAccountForEveryJobExactlyOnce) {
+  if (!ProcessSweep::supported()) GTEST_SKIP() << "no fork() on this host";
+  const std::size_t n = 24;
+  ProcessSweep sweep(ShardConfig{3});
+  sweep.run(n, job_blob);
+  const ShardStats& stats = sweep.stats();
+  ASSERT_EQ(stats.jobs.size(), 3u);
+  ASSERT_EQ(stats.busy_ms.size(), 3u);
+  const std::size_t total =
+      std::accumulate(stats.jobs.begin(), stats.jobs.end(), std::size_t{0});
+  EXPECT_EQ(total, n);
+  for (const double busy : stats.busy_ms) EXPECT_GE(busy, 0.0);
+}
+
+TEST(ProcessSweep, InlineStatsReportOnePseudoShard) {
+  ProcessSweep sweep(ShardConfig{0});
+  sweep.run(5, job_blob);
+  ASSERT_EQ(sweep.stats().jobs.size(), 1u);
+  EXPECT_EQ(sweep.stats().jobs[0], 5u);
+}
+
+TEST(ProcessSweep, LargeBlobsSurviveThePipeFraming) {
+  if (!ProcessSweep::supported()) GTEST_SKIP() << "no fork() on this host";
+  // Well past any single pipe buffer: forces chunked writes/reads.
+  const auto big_job = [](std::size_t index) {
+    return std::string(256 * 1024 + index, static_cast<char>('a' + index));
+  };
+  ProcessSweep sweep(ShardConfig{2});
+  const std::vector<std::string> blobs = sweep.run(3, big_job);
+  ASSERT_EQ(blobs.size(), 3u);
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    EXPECT_EQ(blobs[i], big_job(i)) << "index " << i;
+  }
+}
+
+// The fuzzer's per-round pattern: children serialize coverage snapshots,
+// the parent merges them in index order. Merged coverage must be a pure
+// function of the job set — identical fingerprint at every shard count.
+TEST(ProcessSweep, CoverageShardMergeIsShardCountInvariant) {
+  const auto coverage_job = [](std::size_t index) {
+    obs::CoverageMap map;
+    map.hit("shard.job", index + 1);
+    map.hit("shard.bucket." + std::to_string(index % 3));
+    if (index % 2 == 0) map.hit("shard.even");
+    return map.snapshot_json();
+  };
+  const std::size_t n = 12;
+  std::uint64_t serial_fp = 0;
+  std::size_t serial_keys = 0;
+  std::vector<std::size_t> shard_counts = {0};
+  if (ProcessSweep::supported()) shard_counts.insert(shard_counts.end(), {2, 4});
+  for (const std::size_t shards : shard_counts) {
+    ProcessSweep sweep(ShardConfig{shards});
+    const std::vector<std::string> blobs = sweep.run(n, coverage_job);
+    obs::CoverageMap merged;
+    for (const std::string& blob : blobs) {
+      ASSERT_TRUE(merged.merge_snapshot_json(blob)) << "shards=" << shards;
+    }
+    if (shards == 0) {
+      serial_fp = merged.fingerprint();
+      serial_keys = merged.unique_hit_count();
+      EXPECT_GT(serial_keys, 0u);
+    } else {
+      EXPECT_EQ(merged.fingerprint(), serial_fp) << "shards=" << shards;
+      EXPECT_EQ(merged.unique_hit_count(), serial_keys);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynaplat::fault
