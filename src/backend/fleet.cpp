@@ -1,0 +1,277 @@
+#include "backend/fleet.hpp"
+
+#include <algorithm>
+
+namespace dynaplat::backend {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  for (std::size_t i = 0; i < sizeof(value); ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Stream-id namespaces under FleetConfig::seed. Keep these distinct from
+// each other; client jitter streams use the session index directly on the
+// client's own jitter_seed.
+constexpr std::uint64_t kTopologyStream = 0x1000'0000ull;
+constexpr std::uint64_t kWaveStream = 0x2000'0000ull;
+
+}  // namespace
+
+std::vector<dse::AnalysisTask> FleetDriver::make_tasks(std::uint64_t seed,
+                                                       std::size_t topology) {
+  sim::Random rng = sim::Random::stream(seed, kTopologyStream + topology);
+  const int count = static_cast<int>(rng.uniform_int(3, 7));
+  static const sim::Duration kPeriods[] = {
+      10 * sim::kMillisecond, 20 * sim::kMillisecond, 50 * sim::kMillisecond,
+      100 * sim::kMillisecond};
+  std::vector<dse::AnalysisTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    dse::AnalysisTask task;
+    task.name = "t" + std::to_string(topology) + "." + std::to_string(i);
+    task.period = kPeriods[rng.next_below(4)];
+    task.deadline = task.period;
+    // Per-task utilization 2%..12%: a 3..7-task set stays comfortably
+    // schedulable, so infeasibility comes from explicit test inputs, not
+    // the generator.
+    const double util = rng.uniform(0.02, 0.12);
+    task.wcet = std::max<sim::Duration>(
+        static_cast<sim::Duration>(static_cast<double>(task.period) * util),
+        10 * sim::kMicrosecond);
+    task.priority = 8 + i;
+    task.deterministic = (i == 0);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+FleetDriver::FleetDriver(sim::Simulator& simulator,
+                         FleetScheduleService& service, FleetConfig config)
+    : sim_(simulator), service_(service), config_(config) {
+  config_.sessions = std::max<std::size_t>(config_.sessions, 1);
+  config_.topology_classes = std::max<std::size_t>(config_.topology_classes, 1);
+}
+
+void FleetDriver::run() {
+  sessions_.clear();
+  sessions_.reserve(config_.sessions);
+  for (std::size_t i = 0; i < config_.sessions; ++i) {
+    Session session;
+    session.index = static_cast<std::uint32_t>(i);
+    session.topology = i % config_.topology_classes;
+    session.tasks = make_tasks(config_.seed, session.topology);
+    // Two ECU speed grades, aligned with the topology class so cache keys
+    // stay shared within a class.
+    session.ecu_mips = (session.topology % 2 == 0) ? 1'000 : 2'000;
+    ClientConfig client_config = config_.client;
+    client_config.jitter_stream = i;
+    session.client =
+        std::make_unique<BackendClient>(sim_, client_config);
+    session.client->connect(&service_);
+    sessions_.push_back(std::move(session));
+  }
+
+  // Staggered routine OTA resync cadence.
+  if (config_.ota_period > 0) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      const sim::Time first =
+          static_cast<sim::Time>(i) * config_.ota_period /
+          static_cast<sim::Time>(sessions_.size());
+      schedule_ota(sessions_[i], first);
+    }
+  }
+
+  // Fault wave: a deterministic per-session draw decides who is hit and
+  // when inside the stagger window.
+  if (config_.wave_fraction > 0.0 && config_.wave_at > 0) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      sim::Random draw = sim::Random::stream(config_.seed, kWaveStream + i);
+      if (!draw.chance(config_.wave_fraction)) continue;
+      const sim::Time at =
+          config_.wave_at +
+          static_cast<sim::Duration>(draw.uniform01() *
+                                     static_cast<double>(config_.wave_stagger));
+      Session* session = &sessions_[i];
+      sim_.schedule_at(at, [this, session] { hit_with_wave(*session); });
+    }
+  }
+
+  // Driver-injected backend outage.
+  if (config_.outage_at > 0 && config_.outage_duration > 0) {
+    heal_time_ = config_.outage_at + config_.outage_duration;
+    if (config_.outage_is_partition) {
+      sim_.schedule_at(config_.outage_at,
+                       [this] { service_.set_partitioned(true); });
+      sim_.schedule_at(heal_time_,
+                       [this] { service_.set_partitioned(false); });
+    } else {
+      sim_.schedule_at(config_.outage_at, [this] { service_.crash(); });
+      sim_.schedule_at(heal_time_, [this] { service_.restart(); });
+    }
+  }
+
+  sim_.run_until(config_.horizon);
+
+  // Drain: stop issuing routine work and let everything in flight settle,
+  // so the end-of-run invariants (backend drained, recoveries complete)
+  // judge a quiescent system rather than the arbitrary horizon cut.
+  for (const sim::EventId timer : ota_timers_) sim_.cancel(timer);
+  ota_timers_.clear();
+  if (config_.drain_grace > 0) {
+    sim_.run_until(config_.horizon + config_.drain_grace);
+  }
+}
+
+void FleetDriver::schedule_ota(Session& session, sim::Time first) {
+  Session* s = &session;
+  ota_timers_.push_back(sim_.schedule_every(
+      first, config_.ota_period, [this, s] { issue_ota(*s); }));
+}
+
+void FleetDriver::issue_ota(Session& session) {
+  // A vehicle mid-recovery doesn't pile routine work onto the backend.
+  if (session.state != SessionState::kNominal) return;
+  SynthesisRequest request;
+  request.criticality = Criticality::kOta;
+  request.tasks = session.tasks;
+  request.ecu_mips = session.ecu_mips;
+  request.session = session.index;
+  const sim::Time issued = sim_.now();
+  session.client->request(
+      std::move(request),
+      [this, issued](const BackendOutcome& outcome) {
+        if (outcome.source == BackendOutcome::Source::kBackend &&
+            outcome.status == ResponseStatus::kOk) {
+          ++ota_completed_;
+          latencies_.push_back(sim_.now() - issued);
+        } else {
+          // Shed / backpressured / degraded: the next cadence tick retries.
+          ++ota_deferred_;
+        }
+      });
+}
+
+void FleetDriver::hit_with_wave(Session& session) {
+  if (session.state != SessionState::kNominal) return;
+  session.state = SessionState::kUnsafe;
+  session.unsafe_since = sim_.now();
+  ++unsafe_now_;
+  peak_unsafe_ = std::max(peak_unsafe_, unsafe_now_);
+  issue_recovery(session);
+}
+
+void FleetDriver::issue_recovery(Session& session) {
+  if (session.recovery_inflight) return;
+  if (session.state == SessionState::kNominal) return;
+  session.recovery_inflight = true;
+  session.recovery_issued = sim_.now();
+  SynthesisRequest request;
+  request.criticality = Criticality::kRecovery;
+  request.tasks = session.tasks;
+  request.ecu_mips = session.ecu_mips;
+  request.session = session.index;
+  Session* s = &session;
+  session.client->request(std::move(request),
+                          [this, s](const BackendOutcome& outcome) {
+                            s->recovery_inflight = false;
+                            on_recovery_outcome(*s, outcome);
+                          });
+}
+
+void FleetDriver::on_recovery_outcome(Session& session,
+                                      const BackendOutcome& outcome) {
+  if (session.state == SessionState::kNominal) return;
+  if (outcome.source == BackendOutcome::Source::kBackend && outcome.ok) {
+    // Fresh backend artifact: fully recovered.
+    latencies_.push_back(sim_.now() - session.recovery_issued);
+    mark_safe(session, /*recovered=*/true);
+    return;
+  }
+  if (outcome.ok) {
+    // Stale cache or local admission: safe, but keep pressing for a fresh
+    // artifact on the recovery cadence.
+    if (outcome.source == BackendOutcome::Source::kCache) ++fallback_cache_;
+    if (outcome.source == BackendOutcome::Source::kLocalFallback) {
+      ++fallback_local_;
+    }
+    mark_safe(session, /*recovered=*/false);
+  } else {
+    // Nothing worked: still unsafe. Keep retrying on the cadence — this
+    // is the stranding the no-fallback ablation arm exhibits.
+    ++fallback_none_;
+  }
+  Session* s = &session;
+  sim_.schedule_in(config_.recovery_retry, [this, s] { issue_recovery(*s); });
+}
+
+void FleetDriver::mark_safe(Session& session, bool recovered) {
+  if (session.state == SessionState::kUnsafe) {
+    --unsafe_now_;
+    max_unsafe_duration_ =
+        std::max(max_unsafe_duration_, sim_.now() - session.unsafe_since);
+  } else if (session.state == SessionState::kSafeDegraded && recovered) {
+    --degraded_now_;
+  }
+  if (recovered) {
+    if (session.state == SessionState::kUnsafe) {
+      // Direct kUnsafe -> kNominal: nothing extra to undo.
+    }
+    session.state = SessionState::kNominal;
+    ++recoveries_completed_;
+    last_recovery_done_ = sim_.now();
+  } else {
+    if (session.state == SessionState::kUnsafe) ++degraded_now_;
+    session.state = SessionState::kSafeDegraded;
+  }
+}
+
+std::uint64_t FleetDriver::client_timeouts() const {
+  std::uint64_t total = 0;
+  for (const Session& session : sessions_) {
+    total += session.client->timeouts();
+  }
+  return total;
+}
+
+std::uint64_t FleetDriver::client_breaker_opens() const {
+  std::uint64_t total = 0;
+  for (const Session& session : sessions_) {
+    total += session.client->breaker_opens();
+  }
+  return total;
+}
+
+std::uint64_t FleetDriver::fingerprint() const {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(unsafe_now_));
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(peak_unsafe_));
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(max_unsafe_duration_));
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(degraded_now_));
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(last_recovery_done_));
+  hash = fnv_mix(hash, ota_completed_);
+  hash = fnv_mix(hash, ota_deferred_);
+  hash = fnv_mix(hash, recoveries_completed_);
+  hash = fnv_mix(hash, fallback_cache_);
+  hash = fnv_mix(hash, fallback_local_);
+  hash = fnv_mix(hash, fallback_none_);
+  hash = fnv_mix(hash, static_cast<std::uint64_t>(latencies_.size()));
+  for (const sim::Duration latency : latencies_) {
+    hash = fnv_mix(hash, static_cast<std::uint64_t>(latency));
+  }
+  for (const Session& session : sessions_) {
+    hash = fnv_mix(hash, session.client->fingerprint());
+  }
+  hash = fnv_mix(hash, service_.fingerprint());
+  return hash;
+}
+
+}  // namespace dynaplat::backend

@@ -1,0 +1,170 @@
+// Fleet driver: N simulated vehicle sessions against one
+// FleetScheduleService (experiment E21).
+//
+// Each session is a vehicle with a deterministic app topology (sessions
+// sharing a topology class generate *identical* analysis task sets — the
+// cross-vehicle cache's whole reason to exist), its own BackendClient
+// (distinct jitter stream = session index), a staggered routine OTA
+// resync cadence, and a recovery state machine driven by the fault wave:
+//
+//   kNominal --wave hit--> kUnsafe --fallback ok--> kSafeDegraded
+//        ^                    |                          |
+//        |                    +----backend artifact------+
+//        +---------------- recovered -------------------+
+//
+// kUnsafe means the vehicle lost an ECU and holds *no* valid remap — the
+// state the robustness headline requires to be transient even during a
+// full backend outage. kSafeDegraded means a stale cached artifact or the
+// ECU-local admission fast path is keeping it safe while it re-submits
+// recovery synthesis on a fixed cadence until the backend delivers a
+// fresh artifact.
+//
+// The driver can inject its own backend outage window (crash/restart or
+// uplink partition) so the bench and tests don't need fault::FaultCampaign
+// (which lives above this library); campaigns can still target the
+// service directly via FaultCampaign::add_backend.
+//
+// Determinism: everything derives from FleetConfig::seed through
+// sim::Random::stream — a FleetDriver run is a pure function of its
+// config and is swept bit-identically by sim::ScenarioSweep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backend/client.hpp"
+#include "backend/service.hpp"
+
+namespace dynaplat::backend {
+
+struct FleetConfig {
+  std::size_t sessions = 1'000;
+  /// Distinct task-set shapes; sessions i and i + topology_classes share a
+  /// cache key.
+  std::size_t topology_classes = 32;
+  std::uint64_t seed = 1;
+  sim::Duration horizon = 20 * sim::kSecond;
+  /// Per-session routine OTA resync period (start staggered across the
+  /// fleet so nominal load is smooth).
+  sim::Duration ota_period = 2 * sim::kSecond;
+  /// Fault wave: at wave_at, wave_fraction of the fleet loses an ECU,
+  /// spread over wave_stagger — the stampede.
+  sim::Duration wave_at = 5 * sim::kSecond;
+  double wave_fraction = 0.5;
+  sim::Duration wave_stagger = 500 * sim::kMillisecond;
+  /// Degraded sessions re-submit recovery synthesis on this cadence until
+  /// the backend delivers a fresh artifact.
+  sim::Duration recovery_retry = 250 * sim::kMillisecond;
+  /// Per-session client config (jitter_stream is overridden per session).
+  ClientConfig client;
+  /// Driver-injected backend outage window (0 = none).
+  sim::Duration outage_at = 0;
+  sim::Duration outage_duration = 0;
+  /// true: uplink partition; false: backend crash + restart.
+  bool outage_is_partition = false;
+  /// After the horizon the OTA cadence stops and the run continues this
+  /// much longer so in-flight requests settle — end-of-run invariants
+  /// (backend drained, recoveries complete) read a quiescent system.
+  sim::Duration drain_grace = 2 * sim::kSecond;
+};
+
+class FleetDriver {
+ public:
+  FleetDriver(sim::Simulator& simulator, FleetScheduleService& service,
+              FleetConfig config);
+  FleetDriver(const FleetDriver&) = delete;
+  FleetDriver& operator=(const FleetDriver&) = delete;
+
+  /// Builds the fleet, schedules OTA cadences / fault wave / outage, and
+  /// runs the simulator to the horizon.
+  void run();
+
+  // --- Robustness surface (invariants + bench read these) -------------------
+  /// Sessions currently in kUnsafe (no valid remap in hand).
+  std::size_t unsafe_now() const { return unsafe_now_; }
+  /// High-water mark of simultaneous kUnsafe sessions.
+  std::size_t peak_unsafe() const { return peak_unsafe_; }
+  /// Longest single unsafe window any session experienced (ns). The
+  /// zero-stranded invariant bounds this, not peak_unsafe: fallback makes
+  /// unsafety *transient* even while the backend is down.
+  sim::Duration max_unsafe_duration() const { return max_unsafe_duration_; }
+  /// Sessions still re-submitting recovery synthesis (safe but degraded).
+  std::size_t recoveries_outstanding() const { return degraded_now_; }
+  /// Completion time of the last recovery that finished (0 = none).
+  sim::Time last_recovery_completed() const { return last_recovery_done_; }
+  /// When the driver-injected outage healed (0 = no outage configured).
+  sim::Time heal_time() const { return heal_time_; }
+
+  // --- Load / latency surface -----------------------------------------------
+  std::uint64_t ota_completed() const { return ota_completed_; }
+  std::uint64_t ota_deferred() const { return ota_deferred_; }
+  std::uint64_t recoveries_completed() const { return recoveries_completed_; }
+  std::uint64_t fallback_cache() const { return fallback_cache_; }
+  std::uint64_t fallback_local() const { return fallback_local_; }
+  std::uint64_t fallback_none() const { return fallback_none_; }
+  /// End-to-end sim-time latency of every backend-served request
+  /// (first submission -> final outcome), in scheduling order.
+  const std::vector<sim::Duration>& latencies() const { return latencies_; }
+
+  std::uint64_t client_timeouts() const;
+  std::uint64_t client_breaker_opens() const;
+
+  /// FNV-1a over driver counters + every session's client fingerprint +
+  /// the service fingerprint: the sweep determinism gate compares this
+  /// across thread counts.
+  std::uint64_t fingerprint() const;
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  enum class SessionState : std::uint8_t {
+    kNominal,
+    kUnsafe,        ///< ECU lost, no valid remap — must be transient
+    kSafeDegraded,  ///< running on stale/local artifact, recovery pending
+  };
+
+  struct Session {
+    std::uint32_t index = 0;
+    std::size_t topology = 0;
+    std::vector<dse::AnalysisTask> tasks;
+    std::uint64_t ecu_mips = 1'000;
+    std::unique_ptr<BackendClient> client;
+    SessionState state = SessionState::kNominal;
+    sim::Time unsafe_since = 0;
+    sim::Time recovery_issued = 0;
+    bool recovery_inflight = false;
+  };
+
+  static std::vector<dse::AnalysisTask> make_tasks(std::uint64_t seed,
+                                                   std::size_t topology);
+  void schedule_ota(Session& session, sim::Time first);
+  void issue_ota(Session& session);
+  void hit_with_wave(Session& session);
+  void issue_recovery(Session& session);
+  void on_recovery_outcome(Session& session, const BackendOutcome& outcome);
+  void mark_safe(Session& session, bool recovered);
+
+  sim::Simulator& sim_;
+  FleetScheduleService& service_;
+  FleetConfig config_;
+  std::vector<Session> sessions_;
+  std::vector<sim::EventId> ota_timers_;
+
+  std::size_t unsafe_now_ = 0;
+  std::size_t peak_unsafe_ = 0;
+  sim::Duration max_unsafe_duration_ = 0;
+  std::size_t degraded_now_ = 0;
+  sim::Time last_recovery_done_ = 0;
+  sim::Time heal_time_ = 0;
+
+  std::uint64_t ota_completed_ = 0;
+  std::uint64_t ota_deferred_ = 0;
+  std::uint64_t recoveries_completed_ = 0;
+  std::uint64_t fallback_cache_ = 0;
+  std::uint64_t fallback_local_ = 0;
+  std::uint64_t fallback_none_ = 0;
+  std::vector<sim::Duration> latencies_;
+};
+
+}  // namespace dynaplat::backend

@@ -1,0 +1,387 @@
+#include "backend/service.hpp"
+
+#include <algorithm>
+
+namespace dynaplat::backend {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+const char* to_string(Criticality criticality) {
+  switch (criticality) {
+    case Criticality::kRecovery: return "recovery";
+    case Criticality::kResync: return "resync";
+    case Criticality::kOta: return "ota";
+  }
+  return "?";
+}
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kInfeasible: return "infeasible";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kRetryAfter: return "retry_after";
+    case ResponseStatus::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::uint64_t topology_key(const std::vector<dse::AnalysisTask>& tasks,
+                           std::uint64_t ecu_mips) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a(hash, &ecu_mips, sizeof(ecu_mips));
+  for (const dse::AnalysisTask& task : tasks) {
+    hash = fnv1a(hash, task.name.data(), task.name.size());
+    hash = fnv1a(hash, &task.period, sizeof(task.period));
+    hash = fnv1a(hash, &task.deadline, sizeof(task.deadline));
+    hash = fnv1a(hash, &task.wcet, sizeof(task.wcet));
+    hash = fnv1a(hash, &task.priority, sizeof(task.priority));
+    const std::uint8_t det = task.deterministic ? 1 : 0;
+    hash = fnv1a(hash, &det, sizeof(det));
+  }
+  return hash;
+}
+
+FleetScheduleService::FleetScheduleService(sim::Simulator& simulator,
+                                           ServiceConfig config)
+    : sim_(simulator), config_(config) {
+  config_.workers = std::max<std::size_t>(config_.workers, 1);
+  config_.cache_shards = std::max<std::size_t>(config_.cache_shards, 1);
+  cache_.resize(config_.cache_shards);
+  worker_free_.assign(config_.workers, 0);
+  worker_last_token_.assign(config_.workers, 0);
+}
+
+FleetScheduleService::~FleetScheduleService() {
+  for (auto& [id, out] : outstanding_) sim_.cancel(out.completion);
+}
+
+void FleetScheduleService::set_metrics(obs::MetricsRegistry* metrics,
+                                       const std::string& prefix) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    depth_gauge_ = nullptr;
+    shed_counter_ = backpressure_counter_ = nullptr;
+    cache_hit_counter_ = cache_miss_counter_ = nullptr;
+    return;
+  }
+  depth_gauge_ = &metrics_->gauge(prefix + "queue_depth");
+  shed_counter_ = &metrics_->counter(prefix + "shed");
+  backpressure_counter_ = &metrics_->counter(prefix + "backpressure");
+  cache_hit_counter_ = &metrics_->counter(prefix + "cache.hits");
+  cache_miss_counter_ = &metrics_->counter(prefix + "cache.misses");
+}
+
+void FleetScheduleService::set_coverage(obs::CoverageMap* coverage) {
+  coverage_ = coverage;
+  if (coverage_ == nullptr) return;
+  cov_shed_ = coverage_->key("backend.shed");
+  cov_backpressure_ = coverage_->key("backend.backpressure");
+  cov_preempt_ = coverage_->key("backend.preempt_routine");
+  cov_crash_ = coverage_->key("backend.crash");
+  cov_partition_ = coverage_->key("backend.uplink_partition");
+}
+
+void FleetScheduleService::update_depth_gauge() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(queued_));
+  }
+}
+
+sim::Duration FleetScheduleService::retry_hint() const {
+  // Scale the hint with saturation: the deeper the queue, the longer the
+  // fleet should hold off. Keeps retries from re-stampeding a backend that
+  // is already digging out.
+  const std::size_t depth = queued_;
+  const std::size_t over =
+      depth > config_.backpressure_watermark
+          ? depth - config_.backpressure_watermark
+          : 0;
+  return config_.retry_after_base +
+         static_cast<sim::Duration>(over) * (config_.retry_after_base / 8);
+}
+
+bool FleetScheduleService::preempt_routine() {
+  // Victim: the most recently accepted routine (non-recovery) request that
+  // has not started service AND is still the last reservation on its
+  // worker — only then can its reserved service window be reclaimed
+  // exactly (later arrivals would have stacked behind it otherwise).
+  const sim::Time now = sim_.now();
+  std::uint64_t victim_id = 0;
+  const Outstanding* victim = nullptr;
+  for (const auto& [id, out] : outstanding_) {
+    if (out.criticality == Criticality::kRecovery) continue;
+    if (out.start <= now) continue;  // already in service
+    if (worker_last_token_[out.worker] != out.last_on_worker_token) continue;
+    if (victim == nullptr || id > victim_id) {
+      victim_id = id;
+      victim = &out;
+    }
+  }
+  if (victim == nullptr) return false;
+  ++preempted_;
+  ++shed_total_;
+  ++shed_[static_cast<std::size_t>(victim->criticality)];
+  if (shed_counter_ != nullptr) shed_counter_->add();
+  if (coverage_ != nullptr) coverage_->hit(cov_preempt_);
+  worker_free_[victim->worker] = victim->start;
+  sim_.cancel(outstanding_[victim_id].completion);
+  SynthesisResponse shed;
+  shed.status = ResponseStatus::kShed;
+  shed.retry_after = retry_hint();
+  respond(victim_id, std::move(shed));
+  return true;
+}
+
+bool FleetScheduleService::admit(Criticality criticality,
+                                 SynthesisResponse* reject) {
+  // Depth counts admitted work only. Rejection verdicts riding the
+  // downlink must carry no admission weight, or a saturated backend keeps
+  // rejecting on the strength of its own reject traffic long after the
+  // real queue has drained (metastable congestion).
+  const std::size_t depth = queued_;
+  if (depth >= config_.queue_capacity) {
+    if (criticality == Criticality::kRecovery) {
+      if (preempt_routine()) return true;
+      if (depth < config_.queue_capacity + config_.recovery_reserve) {
+        return true;
+      }
+    }
+    ++shed_total_;
+    ++shed_[static_cast<std::size_t>(criticality)];
+    if (shed_counter_ != nullptr) shed_counter_->add();
+    if (coverage_ != nullptr) coverage_->hit(cov_shed_);
+    reject->status = ResponseStatus::kShed;
+    reject->retry_after = retry_hint();
+    return false;
+  }
+  if (depth >= config_.backpressure_watermark &&
+      criticality == Criticality::kOta) {
+    ++backpressured_;
+    if (backpressure_counter_ != nullptr) backpressure_counter_->add();
+    if (coverage_ != nullptr) coverage_->hit(cov_backpressure_);
+    reject->status = ResponseStatus::kRetryAfter;
+    reject->retry_after = retry_hint();
+    return false;
+  }
+  return true;
+}
+
+dse::ScheduleServer::Artifact FleetScheduleService::resolve(
+    const SynthesisRequest& request, bool* cache_hit) {
+  const std::uint64_t key = topology_key(request.tasks, request.ecu_mips);
+  CacheShard& shard = cache_[key % cache_.size()];
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    *cache_hit = true;
+    ++cache_hits_;
+    if (cache_hit_counter_ != nullptr) cache_hit_counter_->add();
+    return it->second;
+  }
+  *cache_hit = false;
+  ++cache_misses_;
+  ++synthesis_runs_;
+  if (cache_miss_counter_ != nullptr) cache_miss_counter_->add();
+  dse::ScheduleServer::Artifact artifact =
+      server_.synthesize(request.tasks, request.ecu_mips);
+  const std::size_t per_shard =
+      std::max<std::size_t>(config_.cache_capacity / cache_.size(), 1);
+  while (shard.order.size() >= per_shard) {
+    shard.entries.erase(shard.order.front());
+    shard.order.pop_front();
+  }
+  shard.entries.emplace(key, artifact);
+  shard.order.push_back(key);
+  return artifact;
+}
+
+sim::Duration FleetScheduleService::service_time(
+    const dse::ScheduleServer::Artifact& artifact, bool cache_hit) const {
+  if (cache_hit) return config_.min_service_time;
+  // instructions / MIPS = microseconds of backend compute.
+  const std::uint64_t mips = std::max<std::uint64_t>(config_.backend_mips, 1);
+  const sim::Duration compute = static_cast<sim::Duration>(
+      artifact.synthesis_instructions * 1'000ull / mips);
+  return std::max(compute, config_.min_service_time);
+}
+
+void FleetScheduleService::submit(SynthesisRequest request, Callback done) {
+  ++requests_total_;
+  if (crashed_ || partitioned_) {
+    // Lost on the wire: the vehicle's timeout is the only signal.
+    ++lost_unreachable_;
+    return;
+  }
+  SynthesisResponse reject;
+  if (!admit(request.criticality, &reject)) {
+    // Shed / backpressure verdicts do reach the vehicle (the backend is
+    // alive, just refusing work) after the uplink round trip.
+    const sim::Time deliver_at = sim_.now() + config_.uplink_rtt;
+    const std::uint64_t id = next_id_++;
+    Outstanding out;
+    out.done = std::move(done);
+    out.criticality = request.criticality;
+    out.start = sim_.now();  // not preemptible: no reservation to reclaim
+    out.end = deliver_at;
+    out.completion = sim_.schedule_at(
+        deliver_at, [this, id, reject] { respond(id, reject); });
+    outstanding_.emplace(id, std::move(out));
+    update_depth_gauge();
+    return;
+  }
+
+  bool cache_hit = false;
+  dse::ScheduleServer::Artifact artifact = resolve(request, &cache_hit);
+  const sim::Duration svc = static_cast<sim::Duration>(
+      static_cast<double>(service_time(artifact, cache_hit)) * slow_factor_);
+
+  const auto worker_it =
+      std::min_element(worker_free_.begin(), worker_free_.end());
+  const std::size_t worker =
+      static_cast<std::size_t>(worker_it - worker_free_.begin());
+  const sim::Time arrival = sim_.now() + config_.uplink_rtt / 2;
+  const sim::Time start = std::max(arrival, worker_free_[worker]);
+  const sim::Time end = start + svc;
+  worker_free_[worker] = end;
+  const std::uint64_t token = next_token_++;
+  worker_last_token_[worker] = token;
+
+  const std::uint64_t id = next_id_++;
+  Outstanding out;
+  out.done = std::move(done);
+  out.criticality = request.criticality;
+  out.worker = worker;
+  out.start = start;
+  out.end = end;
+  out.last_on_worker_token = token;
+  out.admitted = true;
+  ++queued_;
+
+  SynthesisResponse response;
+  response.status = artifact.feasible ? ResponseStatus::kOk
+                                      : ResponseStatus::kInfeasible;
+  response.artifact = std::move(artifact);
+  response.cache_hit = cache_hit;
+  const sim::Time deliver_at = end + config_.uplink_rtt / 2;
+  out.completion = sim_.schedule_at(
+      deliver_at, [this, id, response = std::move(response)] {
+        if (partitioned_) {
+          // The work completed but the response cannot reach the vehicle.
+          ++responses_dropped_;
+          auto it = outstanding_.find(id);
+          if (it != outstanding_.end()) {
+            if (it->second.admitted) --queued_;
+            outstanding_.erase(it);
+            update_depth_gauge();
+          }
+          return;
+        }
+        ++completed_;
+        respond(id, response);
+      });
+  outstanding_.emplace(id, std::move(out));
+  max_queue_depth_ = std::max(max_queue_depth_, queued_);
+  update_depth_gauge();
+}
+
+void FleetScheduleService::respond(std::uint64_t id,
+                                   SynthesisResponse response) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  Callback done = std::move(it->second.done);
+  if (it->second.admitted) --queued_;
+  outstanding_.erase(it);
+  update_depth_gauge();
+  if (done) done(response);
+}
+
+SynthesisResponse FleetScheduleService::query(
+    const SynthesisRequest& request) {
+  ++requests_total_;
+  SynthesisResponse response;
+  if (crashed_ || partitioned_) {
+    ++lost_unreachable_;
+    response.status = ResponseStatus::kUnreachable;
+    return response;
+  }
+  if (!admit(request.criticality, &response)) return response;
+  bool cache_hit = false;
+  dse::ScheduleServer::Artifact artifact = resolve(request, &cache_hit);
+  ++completed_;
+  response.status = artifact.feasible ? ResponseStatus::kOk
+                                      : ResponseStatus::kInfeasible;
+  response.artifact = std::move(artifact);
+  response.cache_hit = cache_hit;
+  return response;
+}
+
+void FleetScheduleService::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crashes_;
+  if (coverage_ != nullptr) coverage_->hit(cov_crash_);
+  // Outstanding work dies with the process; clients time out.
+  for (auto& [id, out] : outstanding_) sim_.cancel(out.completion);
+  lost_unreachable_ += outstanding_.size();
+  outstanding_.clear();
+  queued_ = 0;
+  update_depth_gauge();
+  worker_free_.assign(config_.workers, 0);
+  worker_last_token_.assign(config_.workers, 0);
+  if (config_.crash_clears_cache) {
+    for (CacheShard& shard : cache_) {
+      shard.entries.clear();
+      shard.order.clear();
+    }
+  }
+}
+
+void FleetScheduleService::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  worker_free_.assign(config_.workers, sim_.now());
+}
+
+void FleetScheduleService::set_partitioned(bool partitioned) {
+  if (partitioned && !partitioned_ && coverage_ != nullptr) {
+    coverage_->hit(cov_partition_);
+  }
+  partitioned_ = partitioned;
+}
+
+std::size_t FleetScheduleService::cache_entries() const {
+  std::size_t total = 0;
+  for (const CacheShard& shard : cache_) total += shard.entries.size();
+  return total;
+}
+
+std::uint64_t FleetScheduleService::fingerprint() const {
+  std::uint64_t hash = kFnvOffset;
+  const std::uint64_t fields[] = {
+      requests_total_,    completed_,     shed_total_,
+      shed_[0],           shed_[1],       shed_[2],
+      backpressured_,     preempted_,     lost_unreachable_,
+      responses_dropped_, cache_hits_,    cache_misses_,
+      synthesis_runs_,    crashes_,       max_queue_depth_,
+      outstanding_.size()};
+  for (const std::uint64_t field : fields) {
+    hash = fnv1a(hash, &field, sizeof(field));
+  }
+  return hash;
+}
+
+}  // namespace dynaplat::backend

@@ -1,0 +1,287 @@
+// Fleet-facing schedule backend (paper Sec. 2.3 / 4.1).
+//
+// The paper's central bet is that schedule synthesis, DSE and update
+// mastering run *off-vehicle*. dse::ScheduleServer is the synthesis engine;
+// this wrapper turns it into a *service*: N concurrent vehicle sessions talk
+// to one backend over an explicit request/response queue modeled entirely in
+// simulated time, so a fleet stampede is a reproducible scenario rather
+// than a host-load artifact.
+//
+// Robustness machinery (ISSUE 9):
+//   * Admission control and a bounded request queue. When the queue
+//     saturates, requests are shed by criticality: routine OTA
+//     resynthesis (kOta) goes first, schedule resyncs (kResync) second,
+//     recovery remaps (kRecovery) last. A recovery request arriving at a
+//     full queue preempts the most recently accepted, not-yet-started
+//     routine request instead of being turned away.
+//   * Backpressure: above the watermark, routine requests are deferred
+//     with an explicit retry-after hint scaled by queue depth, so the
+//     fleet's retries spread out instead of hammering a saturated queue.
+//   * A sharded cross-vehicle memo cache keyed by (topology-hash,
+//     app-set): two vehicles with the same task topology and ECU speed
+//     share one synthesis. This is the PR 1 DSE memo-cache shape applied
+//     fleet-wide — the cache is what turns 10k sessions into ~dozens of
+//     real synthesis runs.
+//   * Seed-deterministic failure modes injectable by fault::FaultCampaign:
+//     backend crash/restart (outstanding work lost), uplink partition
+//     (requests and responses silently dropped — vehicles see timeouts),
+//     and slow-responder latency spikes (service-time multiplier).
+//
+// Everything is driven by the owning scenario's sim::Simulator, consumes no
+// fresh randomness, and is therefore bit-reproducible under
+// sim::ScenarioSweep at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/admission.hpp"
+#include "obs/coverage.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaplat::backend {
+
+/// Request priority classes, most critical first. Shedding walks the enum
+/// from the back (routine OTA work is dropped before recovery remaps).
+enum class Criticality : std::uint8_t {
+  kRecovery = 0,  ///< recovery-remap synthesis (vehicle lost an ECU)
+  kResync = 1,    ///< TT-table resynchronization (app start/stop)
+  kOta = 2,       ///< routine OTA update mastering / resynthesis
+};
+
+const char* to_string(Criticality criticality);
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,           ///< artifact attached (feasible or not is in the artifact)
+  kInfeasible,   ///< synthesis ran and proved the task set unschedulable
+  kShed,         ///< load-shed: queue full, request dropped by criticality
+  kRetryAfter,   ///< backpressure: come back after retry_after
+  kUnreachable,  ///< control-plane only: backend crashed / uplink down
+};
+
+const char* to_string(ResponseStatus status);
+
+struct SynthesisRequest {
+  Criticality criticality = Criticality::kResync;
+  std::vector<dse::AnalysisTask> tasks;
+  std::uint64_t ecu_mips = 1'000;
+  /// Vehicle session tag (metrics / tracing only, not part of the cache
+  /// key — the whole point is cross-vehicle sharing).
+  std::uint32_t session = 0;
+};
+
+struct SynthesisResponse {
+  ResponseStatus status = ResponseStatus::kUnreachable;
+  dse::ScheduleServer::Artifact artifact;
+  bool cache_hit = false;
+  /// Backpressure hint: earliest useful re-submission delay (kShed /
+  /// kRetryAfter).
+  sim::Duration retry_after = 0;
+};
+
+struct ServiceConfig {
+  /// Outstanding (accepted, not yet responded) request cap. Beyond it,
+  /// requests are shed by criticality.
+  std::size_t queue_capacity = 256;
+  /// Above this depth routine (kOta) requests get kRetryAfter instead of
+  /// queue slots.
+  std::size_t backpressure_watermark = 192;
+  /// Extra slots only recovery requests may use when the queue is full and
+  /// no routine victim is preemptible.
+  std::size_t recovery_reserve = 32;
+  /// Parallel synthesis workers (queueing model: per-worker next-free
+  /// time; a request is served by the earliest-free worker).
+  std::size_t workers = 8;
+  /// Backend compute speed, converts Artifact::synthesis_instructions into
+  /// simulated service time.
+  std::uint64_t backend_mips = 200'000;
+  /// Service-time floor (cache hits, admission bookkeeping).
+  sim::Duration min_service_time = 200 * sim::kMicrosecond;
+  /// Round-trip vehicle <-> backend latency (half on submit, half on the
+  /// response).
+  sim::Duration uplink_rtt = 10 * sim::kMillisecond;
+  /// Base backpressure hint; the actual hint scales with queue depth.
+  sim::Duration retry_after_base = 50 * sim::kMillisecond;
+  /// Cross-vehicle memo cache: shard count and total entry capacity
+  /// (drop-oldest per shard beyond capacity / shards).
+  std::size_t cache_shards = 16;
+  std::size_t cache_capacity = 4'096;
+  /// A backend crash also loses the memo cache (cold restart). Default
+  /// keeps it: the cache models a persistent artifact store.
+  bool crash_clears_cache = false;
+};
+
+/// Stable hash of (task set, ECU speed): the cross-vehicle cache key. Two
+/// vehicles whose app set compiles to the same analysis tasks on the same
+/// ECU speed share one synthesis. Exposed so the vehicle-side client can
+/// key its local artifact cache identically.
+std::uint64_t topology_key(const std::vector<dse::AnalysisTask>& tasks,
+                           std::uint64_t ecu_mips);
+
+class FleetScheduleService {
+ public:
+  using Callback = std::function<void(const SynthesisResponse&)>;
+
+  explicit FleetScheduleService(sim::Simulator& simulator,
+                                ServiceConfig config = {});
+  ~FleetScheduleService();
+  FleetScheduleService(const FleetScheduleService&) = delete;
+  FleetScheduleService& operator=(const FleetScheduleService&) = delete;
+
+  /// Asynchronous request/response: the response is delivered through the
+  /// simulator after queueing + service + uplink time. While the backend
+  /// is crashed or the uplink partitioned the request is silently lost —
+  /// the vehicle-side timeout is the only signal, as in the field.
+  void submit(SynthesisRequest request, Callback done);
+
+  /// Synchronous control-plane query used by in-vehicle callers that
+  /// cannot park their control flow on a sim event (node resync, recovery
+  /// planning). Runs the same admission / shedding / cache logic but
+  /// charges no queueing latency; returns kUnreachable when the backend
+  /// is down so the caller's circuit breaker can react.
+  SynthesisResponse query(const SynthesisRequest& request);
+
+  // --- Failure injection (fault::FaultCampaign backend events) --------------
+  /// Backend process crash: every outstanding request is lost (clients
+  /// time out), workers reset. Idempotent.
+  void crash();
+  /// Restart after a crash. The memo cache survives unless
+  /// crash_clears_cache.
+  void restart();
+  bool crashed() const { return crashed_; }
+  /// Uplink partition: submissions are lost and in-flight responses are
+  /// dropped at delivery time.
+  void set_partitioned(bool partitioned);
+  bool partitioned() const { return partitioned_; }
+  /// Slow-responder spike: multiplies the service time of requests
+  /// accepted while active (1.0 = nominal).
+  void set_slow_factor(double factor) {
+    slow_factor_ = factor < 1.0 ? 1.0 : factor;
+  }
+  double slow_factor() const { return slow_factor_; }
+
+  /// Campaign target name (FaultCampaign events address it by this).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Observability --------------------------------------------------------
+  void set_metrics(obs::MetricsRegistry* metrics, const std::string& prefix);
+  void set_coverage(obs::CoverageMap* coverage);
+
+  // --- Introspection (deterministic reads; test + invariant surface) --------
+  /// Admitted work not yet responded. Rejection notices in flight on the
+  /// downlink are excluded: they hold no worker reservation, and counting
+  /// them toward admission depth would let an overload sustain itself on
+  /// its own reject traffic.
+  std::size_t queue_depth() const { return queued_; }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  std::uint64_t requests_total() const { return requests_total_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t shed_total() const { return shed_total_; }
+  std::uint64_t shed(Criticality criticality) const {
+    return shed_[static_cast<std::size_t>(criticality)];
+  }
+  std::uint64_t backpressured() const { return backpressured_; }
+  std::uint64_t preempted() const { return preempted_; }
+  std::uint64_t lost_unreachable() const { return lost_unreachable_; }
+  std::uint64_t responses_dropped() const { return responses_dropped_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::size_t cache_entries() const;
+  std::uint64_t synthesis_runs() const { return synthesis_runs_; }
+  std::uint64_t crashes() const { return crashes_; }
+
+  /// FNV-1a over the service counters — folded into fleet fingerprints for
+  /// the sweep determinism gates.
+  std::uint64_t fingerprint() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Outstanding {
+    Callback done;
+    Criticality criticality = Criticality::kOta;
+    std::size_t worker = 0;
+    sim::Time start = 0;  ///< service start (preemptible while > now)
+    sim::Time end = 0;
+    sim::EventId completion;
+    std::uint64_t last_on_worker_token = 0;
+    /// true: holds a queue slot + worker reservation; false: a shed /
+    /// backpressure verdict riding the downlink (no admission weight).
+    bool admitted = false;
+  };
+  struct CacheShard {
+    std::map<std::uint64_t, dse::ScheduleServer::Artifact> entries;
+    std::deque<std::uint64_t> order;  ///< insertion order, drop-oldest
+  };
+
+  /// Admission decision shared by submit() and query(). Returns true when
+  /// the request may take a queue slot; fills `reject` otherwise.
+  bool admit(Criticality criticality, SynthesisResponse* reject);
+  /// Sheds the most recently accepted, not-yet-started routine request
+  /// that is still last on its worker (its reservation can be reclaimed
+  /// exactly). Returns true when a slot was freed.
+  bool preempt_routine();
+  /// Cache lookup + synthesis on miss. Returns the artifact and whether it
+  /// was a hit; accounts cache metrics.
+  dse::ScheduleServer::Artifact resolve(const SynthesisRequest& request,
+                                        bool* cache_hit);
+  sim::Duration service_time(const dse::ScheduleServer::Artifact& artifact,
+                             bool cache_hit) const;
+  sim::Duration retry_hint() const;
+  void respond(std::uint64_t id, SynthesisResponse response);
+  void update_depth_gauge();
+
+  sim::Simulator& sim_;
+  ServiceConfig config_;
+  std::string name_ = "backend";
+  dse::ScheduleServer server_;
+  std::vector<CacheShard> cache_;
+  std::vector<sim::Time> worker_free_;
+  /// Monotonic token per worker identifying the *last* reservation made on
+  /// it — only that reservation can be reclaimed exactly on preemption.
+  std::vector<std::uint64_t> worker_last_token_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  /// Admitted entries in outstanding_ (the admission-control depth).
+  std::size_t queued_ = 0;
+  std::uint64_t next_id_ = 1;
+
+  bool crashed_ = false;
+  bool partitioned_ = false;
+  double slow_factor_ = 1.0;
+
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t shed_[3] = {0, 0, 0};
+  std::uint64_t backpressured_ = 0;
+  std::uint64_t preempted_ = 0;
+  std::uint64_t lost_unreachable_ = 0;
+  std::uint64_t responses_dropped_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t synthesis_runs_ = 0;
+  std::uint64_t crashes_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* backpressure_counter_ = nullptr;
+  obs::Counter* cache_hit_counter_ = nullptr;
+  obs::Counter* cache_miss_counter_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
+  std::uint32_t cov_shed_ = 0;
+  std::uint32_t cov_backpressure_ = 0;
+  std::uint32_t cov_preempt_ = 0;
+  std::uint32_t cov_crash_ = 0;
+  std::uint32_t cov_partition_ = 0;
+};
+
+}  // namespace dynaplat::backend

@@ -41,12 +41,18 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kTaskOverrunEnd: return "task_overrun_end";
     case FaultKind::kMemoryPressure: return "memory_pressure";
     case FaultKind::kMemoryRelease: return "memory_release";
+    case FaultKind::kBackendCrash: return "backend_crash";
+    case FaultKind::kBackendRestart: return "backend_restart";
+    case FaultKind::kUplinkPartition: return "uplink_partition";
+    case FaultKind::kUplinkHeal: return "uplink_heal";
+    case FaultKind::kBackendSlow: return "backend_slow";
+    case FaultKind::kBackendSlowEnd: return "backend_slow_end";
   }
   return "?";
 }
 
 bool fault_kind_from_string(std::string_view name, FaultKind* out) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::kMemoryRelease); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kBackendSlowEnd); ++k) {
     const auto kind = static_cast<FaultKind>(k);
     if (name == to_string(kind)) {
       if (out != nullptr) *out = kind;
@@ -70,6 +76,9 @@ bool fault_kind_end_of(FaultKind start, FaultKind* end) {
     case FaultKind::kMemoryPressure:
       paired = FaultKind::kMemoryRelease;
       break;
+    case FaultKind::kBackendCrash: paired = FaultKind::kBackendRestart; break;
+    case FaultKind::kUplinkPartition: paired = FaultKind::kUplinkHeal; break;
+    case FaultKind::kBackendSlow: paired = FaultKind::kBackendSlowEnd; break;
     default: return false;
   }
   if (end != nullptr) *end = paired;
@@ -88,6 +97,11 @@ void FaultCampaign::add_ecu(os::Ecu& ecu) { ecus_.push_back(&ecu); }
 
 void FaultCampaign::add_medium(net::Medium& medium) {
   media_.push_back(&medium);
+}
+
+void FaultCampaign::add_backend(
+    ::dynaplat::backend::FleetScheduleService& service) {
+  backends_.push_back(&service);
 }
 
 void FaultCampaign::add_overrun_target(std::string label,
@@ -141,6 +155,23 @@ void FaultCampaign::generate() {
   if (!ecus_.empty() && config_.weight_memory > 0.0) {
     families.push_back({FaultKind::kMemoryPressure, FaultKind::kMemoryRelease,
                         config_.weight_memory, ecus_.size()});
+  }
+  // Backend families append *after* the legacy ones, and their weights
+  // default to 0.0, so campaigns that never opt in keep bit-identical
+  // family lists and draw sequences.
+  if (!backends_.empty()) {
+    if (config_.weight_backend_crash > 0.0) {
+      families.push_back({FaultKind::kBackendCrash, FaultKind::kBackendRestart,
+                          config_.weight_backend_crash, backends_.size()});
+    }
+    if (config_.weight_uplink > 0.0) {
+      families.push_back({FaultKind::kUplinkPartition, FaultKind::kUplinkHeal,
+                          config_.weight_uplink, backends_.size()});
+    }
+    if (config_.weight_backend_slow > 0.0) {
+      families.push_back({FaultKind::kBackendSlow, FaultKind::kBackendSlowEnd,
+                          config_.weight_backend_slow, backends_.size()});
+    }
   }
   if (families.empty()) return;
 
@@ -235,6 +266,15 @@ void FaultCampaign::generate() {
         // execution-time scale
         start.magnitude = shaped(1.5 + 2.5 * intensity, 1.1, 64.0);
         break;
+      case FaultKind::kBackendCrash:
+      case FaultKind::kUplinkPartition:
+        start.target = end.target = backends_[target_index]->name();
+        break;
+      case FaultKind::kBackendSlow:
+        start.target = end.target = backends_[target_index]->name();
+        // service-time multiplier
+        start.magnitude = shaped(2.0 + 8.0 * intensity, 1.5, 100.0);
+        break;
       default:
         break;
     }
@@ -272,6 +312,14 @@ os::Ecu* FaultCampaign::ecu_by_name(const std::string& name) {
 net::Medium* FaultCampaign::medium_by_name(const std::string& name) {
   for (net::Medium* medium : media_) {
     if (medium->name() == name) return medium;
+  }
+  return nullptr;
+}
+
+::dynaplat::backend::FleetScheduleService* FaultCampaign::backend_by_name(
+    const std::string& name) {
+  for (::dynaplat::backend::FleetScheduleService* service : backends_) {
+    if (service->name() == name) return service;
   }
   return nullptr;
 }
@@ -385,6 +433,36 @@ void FaultCampaign::execute(const FaultEvent& event) {
       if (it == hogs_.end()) break;
       it->second.ecu->memory().destroy_process(it->second.process);
       hogs_.erase(it);
+      break;
+    }
+    case FaultKind::kBackendCrash: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->crash();
+      break;
+    }
+    case FaultKind::kBackendRestart: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->restart();
+      break;
+    }
+    case FaultKind::kUplinkPartition: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->set_partitioned(true);
+      break;
+    }
+    case FaultKind::kUplinkHeal: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->set_partitioned(false);
+      break;
+    }
+    case FaultKind::kBackendSlow: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->set_slow_factor(event.magnitude);
+      break;
+    }
+    case FaultKind::kBackendSlowEnd: {
+      auto* service = backend_by_name(event.target);
+      if (service != nullptr) service->set_slow_factor(1.0);
       break;
     }
   }

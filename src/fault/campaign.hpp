@@ -17,6 +17,9 @@
 //   kCorruptionStart / kCorruptionEnd — payload bit-flip corruption
 //   kTaskOverrun / kTaskOverrunEnd — os::Processor execution-time inflation
 //   kMemoryPressure / kMemoryRelease — hog process squeezing free memory
+//   kBackendCrash / kBackendRestart — fleet schedule backend process loss
+//   kUplinkPartition / kUplinkHeal  — vehicle <-> backend uplink severed
+//   kBackendSlow / kBackendSlowEnd  — backend slow-responder latency spike
 //
 // Campaigns can also be scripted exactly (schedule()) — generation and
 // scripting compose; the plan is always sorted before arming.
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/service.hpp"
 #include "net/medium.hpp"
 #include "os/ecu.hpp"
 #include "sim/random.hpp"
@@ -50,6 +54,12 @@ enum class FaultKind : std::uint8_t {
   kTaskOverrunEnd,
   kMemoryPressure,
   kMemoryRelease,
+  kBackendCrash,
+  kBackendRestart,
+  kUplinkPartition,
+  kUplinkHeal,
+  kBackendSlow,
+  kBackendSlowEnd,
 };
 
 const char* to_string(FaultKind kind);
@@ -97,6 +107,13 @@ struct CampaignConfig {
   double weight_corruption = 1.0;
   double weight_overrun = 1.0;
   double weight_memory = 1.0;
+  /// Backend-fault families (need an add_backend target). Default 0.0 so
+  /// existing seeds keep bit-identical draw sequences — same identity
+  /// pattern as magnitude_scale: a zero-weight family never enters the
+  /// family list, so nothing about the legacy plan changes.
+  double weight_backend_crash = 0.0;
+  double weight_uplink = 0.0;
+  double weight_backend_slow = 0.0;
   /// Post-draw scale applied to generated episode magnitudes (burst loss
   /// probability, babble rate, corruption rate, overrun factor, memory
   /// fraction), clamped to each family's sane range. The RNG draw sequence
@@ -121,6 +138,9 @@ class FaultCampaign {
   // --- Target registration (order matters: it is part of the seed contract) --
   void add_ecu(os::Ecu& ecu);
   void add_medium(net::Medium& medium);
+  /// Registers a fleet schedule backend for the kBackend*/kUplink*
+  /// families (events address it by its name()).
+  void add_backend(::dynaplat::backend::FleetScheduleService& service);
   /// Registers a task for overrun injection under `label`
   /// (conventionally "<ecu>/<task-name>").
   void add_overrun_target(std::string label, os::Processor& processor,
@@ -151,6 +171,8 @@ class FaultCampaign {
   void execute(const FaultEvent& event);
   os::Ecu* ecu_by_name(const std::string& name);
   net::Medium* medium_by_name(const std::string& name);
+  ::dynaplat::backend::FleetScheduleService* backend_by_name(
+      const std::string& name);
   void start_babble(net::Medium& medium, double frames_per_ms);
   void stop_babble(const std::string& medium_name);
   void sort_plan();
@@ -171,6 +193,7 @@ class FaultCampaign {
   CampaignConfig config_;
   std::vector<os::Ecu*> ecus_;
   std::vector<net::Medium*> media_;
+  std::vector<::dynaplat::backend::FleetScheduleService*> backends_;
   std::vector<std::pair<std::string, OverrunTarget>> overruns_;
   std::vector<FaultEvent> plan_;
   std::vector<FaultEvent> injected_;

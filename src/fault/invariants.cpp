@@ -214,6 +214,64 @@ void InvariantChecker::require_recovery_latency_below(
   });
 }
 
+void InvariantChecker::require_backend_drained(
+    const ::dynaplat::backend::FleetScheduleService& service) {
+  add("backend_drained", [&service](std::string& detail) {
+    if (service.queue_depth() != 0) {
+      std::ostringstream out;
+      out << service.queue_depth() << " request(s) still outstanding at end"
+          << " of run (of " << service.requests_total() << " total)";
+      detail = out.str();
+      return false;
+    }
+    return true;
+  });
+}
+
+void InvariantChecker::require_no_stranded_vehicles(
+    const ::dynaplat::backend::FleetDriver& fleet, sim::Duration max_unsafe) {
+  add("no_stranded_vehicles", [&fleet, max_unsafe](std::string& detail) {
+    if (fleet.unsafe_now() != 0) {
+      std::ostringstream out;
+      out << fleet.unsafe_now() << " session(s) still unsafe at end of run"
+          << " (peak " << fleet.peak_unsafe() << ")";
+      detail = out.str();
+      return false;
+    }
+    if (fleet.max_unsafe_duration() > max_unsafe) {
+      std::ostringstream out;
+      out << "a session stayed unsafe " << fleet.max_unsafe_duration()
+          << "ns > bound " << max_unsafe << "ns";
+      detail = out.str();
+      return false;
+    }
+    return true;
+  });
+}
+
+void InvariantChecker::require_fleet_recovery_bounded(
+    const ::dynaplat::backend::FleetDriver& fleet, sim::Duration bound) {
+  add("fleet_recovery_bounded", [&fleet, bound](std::string& detail) {
+    if (fleet.recoveries_outstanding() != 0) {
+      std::ostringstream out;
+      out << fleet.recoveries_outstanding()
+          << " recovery(ies) still pending at end of run";
+      detail = out.str();
+      return false;
+    }
+    if (fleet.heal_time() > 0 && fleet.last_recovery_completed() > 0 &&
+        fleet.last_recovery_completed() > fleet.heal_time() + bound) {
+      std::ostringstream out;
+      out << "last recovery finished "
+          << (fleet.last_recovery_completed() - fleet.heal_time())
+          << "ns after heal > bound " << bound << "ns";
+      detail = out.str();
+      return false;
+    }
+    return true;
+  });
+}
+
 InvariantReport InvariantChecker::run() const {
   InvariantReport report;
   report.passed = true;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/fleet.hpp"
 #include "fault/campaign.hpp"
 #include "platform/platform.hpp"
 #include "platform/recovery.hpp"
@@ -107,6 +108,27 @@ class InvariantChecker {
   void require_recovery_latency_below(
       const platform::RecoveryOrchestrator& orchestrator,
       sim::Duration bound);
+
+  /// The fleet backend holds no outstanding requests at end of run: every
+  /// accepted request was answered (or explicitly dropped by a partition),
+  /// nothing leaked in the queue.
+  void require_backend_drained(
+      const ::dynaplat::backend::FleetScheduleService& service);
+
+  /// The robustness headline (ISSUE 9): no vehicle session ended the run
+  /// unsafe, and no session's unsafe window ever exceeded `max_unsafe` —
+  /// the client fallback ladder made unsafety *transient* even while the
+  /// backend was down.
+  void require_no_stranded_vehicles(
+      const ::dynaplat::backend::FleetDriver& fleet,
+      sim::Duration max_unsafe);
+
+  /// Bounded recovery completion after heal: once the driver-injected
+  /// backend outage healed, every degraded session obtained a fresh
+  /// artifact within `bound` (and none is still re-submitting at end of
+  /// run).
+  void require_fleet_recovery_bounded(
+      const ::dynaplat::backend::FleetDriver& fleet, sim::Duration bound);
 
   /// Arms the post-mortem flight recorder (see FlightRecorderConfig).
   void set_flight_recorder(FlightRecorderConfig config) {

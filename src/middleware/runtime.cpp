@@ -6,13 +6,28 @@
 
 namespace dynaplat::middleware {
 
+namespace {
+
+// Each node's transport needs its own retransmit-jitter stream — with a
+// shared stream every peer draws the same jitter sequence and a healed
+// partition still retries in lockstep. An explicit jitter_stream wins;
+// the node id is only the default.
+TransportConfig with_node_jitter_stream(TransportConfig config,
+                                        net::NodeId node) {
+  if (config.jitter_stream == 0) config.jitter_stream = node;
+  return config;
+}
+
+}  // namespace
+
 ServiceRuntime::ServiceRuntime(os::Ecu& ecu, RuntimeConfig config)
     : ecu_(ecu),
       config_(config),
       transport_([&ecu](net::Frame frame) { ecu.send(std::move(frame)); },
                  ecu.medium() != nullptr ? ecu.medium()->max_payload()
                                          : 1500,
-                 &ecu.simulator(), config.transport) {
+                 &ecu.simulator(),
+                 with_node_jitter_stream(config.transport, ecu.node_id())) {
   ecu_.set_receive_handler(
       [this](const net::Frame& frame) { transport_.on_frame(frame); });
   transport_.set_batch_sender([&ecu](std::vector<net::Frame>& frames) {

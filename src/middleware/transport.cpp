@@ -84,7 +84,9 @@ Transport::Transport(std::function<void(net::Frame)> send_frame,
     : send_frame_(std::move(send_frame)),
       max_frame_payload_(max_frame_payload),
       sim_(simulator),
-      config_(config) {
+      config_(config),
+      retry_rng_(
+          sim::Random::stream(config.jitter_seed, config.jitter_stream)) {
   assert(max_frame_payload_ > kFragmentHeader &&
          "medium payload too small for fragment header");
   if (sim_ != nullptr && config_.reassembly_ttl > 0) {
@@ -289,7 +291,18 @@ void Transport::arm_retry(std::uint16_t id) {
   auto it = pending_reliable_.find(id);
   if (it == pending_reliable_.end()) return;
   PendingReliable& pending = it->second;
-  pending.timer = sim_->schedule_in(pending.backoff, [this, id] {
+  // Jitter desynchronizes peers whose losses (and therefore backoff
+  // schedules) are correlated — a healed partition otherwise produces a
+  // lockstep retry storm that collides all over again. pending.backoff
+  // itself stays the pure exponential base so the cap logic is unchanged.
+  sim::Duration delay = pending.backoff;
+  if (config_.retry_jitter > 0.0) {
+    const double factor =
+        1.0 + config_.retry_jitter * (2.0 * retry_rng_.uniform01() - 1.0);
+    delay = std::max<sim::Duration>(
+        static_cast<sim::Duration>(static_cast<double>(delay) * factor), 1);
+  }
+  pending.timer = sim_->schedule_in(delay, [this, id] {
     auto it = pending_reliable_.find(id);
     if (it == pending_reliable_.end()) return;  // acked meanwhile
     PendingReliable& pending = it->second;

@@ -51,6 +51,7 @@
 #include "obs/context.hpp"
 #include "obs/coverage.hpp"
 #include "obs/metrics.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
 namespace dynaplat::middleware {
@@ -82,6 +83,19 @@ struct TransportConfig {
   int max_retries = 5;
   double backoff_factor = 2.0;
   sim::Duration max_backoff = 200 * sim::kMillisecond;
+  /// Symmetric jitter applied to each armed retransmit delay: the timer
+  /// fires after backoff * (1 ± retry_jitter * u), u uniform in [0, 1).
+  /// Without it every peer that lost frames in the same partition window
+  /// retries in lockstep after heal and the retry burst collides again.
+  /// The exponential base (`ack_timeout`, `backoff_factor`, `max_backoff`)
+  /// is unchanged — only the scheduled delay is perturbed. 0 disables
+  /// (exact legacy timing). Draws come from
+  /// sim::Random::stream(jitter_seed, jitter_stream), so runs are
+  /// bit-reproducible; give each transport a distinct stream (the runtime
+  /// wires the ECU's node id) or peers jitter in lockstep anyway.
+  double retry_jitter = 0.1;
+  std::uint64_t jitter_seed = 0x7261'6E64'6A69'7474ULL;  // "randjitt"
+  std::uint64_t jitter_stream = 0;
   /// Recently delivered message ids remembered per peer (duplicate
   /// suppression window).
   std::size_t dedup_window = 64;
@@ -247,6 +261,7 @@ class Transport {
   std::size_t max_frame_payload_;
   sim::Simulator* sim_;
   TransportConfig config_;
+  sim::Random retry_rng_;  // seeded jitter stream for retransmit delays
   MessageHandler handler_;
   ChainHandler chain_handler_;
   TracedHandler traced_handler_;

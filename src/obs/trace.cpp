@@ -18,6 +18,8 @@ const char* category_name(Category c) {
       return "fault";
     case Category::kSecurity:
       return "security";
+    case Category::kBackend:
+      return "backend";
   }
   return "unknown";
 }

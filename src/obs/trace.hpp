@@ -35,8 +35,9 @@ enum class Category : std::uint8_t {
   kPlatform,  // lifecycle: install, start, stop, update phases
   kFault,     // injected or detected faults
   kSecurity,  // auth, verification outcomes
+  kBackend,   // fleet backend: queue, shedding, breaker, outages
 };
-inline constexpr std::size_t kCategoryCount = 6;
+inline constexpr std::size_t kCategoryCount = 7;
 inline constexpr std::uint32_t kAllCategories = (1u << kCategoryCount) - 1;
 
 constexpr std::uint32_t category_bit(Category c) {

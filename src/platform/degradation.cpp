@@ -74,6 +74,28 @@ void DegradationManager::report_recovery_exhausted(
   transition(ecu_name, health, HealthState::kLimpHome, "recovery_exhausted");
 }
 
+void DegradationManager::report_backend_lost() {
+  EcuHealth& health = health_[kBackendUplink];
+  health.hold = true;
+  if (health.state != HealthState::kOk) return;
+  transition(kBackendUplink, health, HealthState::kDegraded, "backend_lost");
+}
+
+void DegradationManager::report_backend_restored() {
+  auto it = health_.find(kBackendUplink);
+  if (it == health_.end()) return;
+  it->second.hold = false;
+  if (it->second.state != HealthState::kDegraded) return;
+  it->second.fault_times.clear();
+  transition(kBackendUplink, it->second, HealthState::kOk,
+             "backend_restored");
+}
+
+bool DegradationManager::backend_lost() const {
+  auto it = health_.find(kBackendUplink);
+  return it != health_.end() && it->second.hold;
+}
+
 void DegradationManager::reset(const std::string& ecu_name) {
   auto it = health_.find(ecu_name);
   if (it == health_.end() || it->second.state == HealthState::kOk) return;
@@ -102,7 +124,7 @@ void DegradationManager::evaluate() {
       case HealthState::kDegraded:
         if (recent >= config_.faults_for_limp_home) {
           transition(name, health, HealthState::kLimpHome, "monitor_faults");
-        } else if (recent == 0 &&
+        } else if (!health.hold && recent == 0 &&
                    now - health.last_fault > config_.recovery_window) {
           transition(name, health, HealthState::kOk, "recovery");
         }

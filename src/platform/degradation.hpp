@@ -84,6 +84,17 @@ class DegradationManager {
   /// "recovery_exhausted").
   void report_recovery_exhausted(const std::string& ecu_name);
 
+  /// Backend uplink lost (the vehicle's BackendClient breaker opened):
+  /// records a vehicle-wide kDegraded verdict under kBackendUplink that
+  /// *holds* — the periodic evaluator never auto-lifts it — until
+  /// report_backend_restored(). Wire these to BackendClient listeners so
+  /// the verdict only lifts after stale artifacts were re-validated.
+  void report_backend_lost();
+  void report_backend_restored();
+  bool backend_lost() const;
+  /// Pseudo-ECU name carrying the vehicle-wide backend uplink verdict.
+  static constexpr const char* kBackendUplink = "backend-uplink";
+
   /// Clears a sticky kLimpHome verdict (vehicle serviced / operator reset)
   /// back to kOk and restores shed applications.
   void reset(const std::string& ecu_name);
@@ -101,6 +112,9 @@ class DegradationManager {
     std::deque<sim::Time> fault_times;  ///< within fault_window, oldest first
     sim::Time last_fault = 0;
     std::vector<std::string> shed_labels;  ///< NDA instances stopped by us
+    /// Held by an external condition (backend uplink loss): the evaluator
+    /// must not auto-lift a kDegraded verdict while set.
+    bool hold = false;
   };
 
   void evaluate();

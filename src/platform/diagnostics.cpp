@@ -45,8 +45,29 @@ void DiagnosticsService::submit(const std::string& ecu,
     uplink_(record);
     ++uplinked_;
   } else {
+    // Bounded backlog: a multi-hour offline window sheds the oldest
+    // records instead of growing without limit.
+    if (uplink_queue_limit_ == 0) {
+      ++dropped_uplink_;
+      if (metrics_ != nullptr) metrics_->counter("diag.uplink.dropped").add();
+      return;
+    }
+    while (pending_.size() >= uplink_queue_limit_) {
+      pending_.pop_front();
+      ++dropped_uplink_;
+      if (metrics_ != nullptr) metrics_->counter("diag.uplink.dropped").add();
+    }
     pending_.push_back(record);
   }
+}
+
+void DiagnosticsService::follow_backend(
+    ::dynaplat::backend::BackendClient& client) {
+  set_online(client.breaker() == ::dynaplat::backend::BreakerState::kClosed);
+  client.add_listener([this](::dynaplat::backend::BreakerState,
+                             ::dynaplat::backend::BreakerState next) {
+    set_online(next == ::dynaplat::backend::BreakerState::kClosed);
+  });
 }
 
 void DiagnosticsService::set_online(bool online) {

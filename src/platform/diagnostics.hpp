@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/client.hpp"
 #include "monitor/runtime_monitor.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
@@ -50,16 +51,32 @@ class DiagnosticsService {
   void set_online(bool online);
   bool online() const { return online_; }
 
+  /// Follows a BackendClient's circuit breaker: the uplink goes offline
+  /// when the breaker opens and back online when it closes (after the
+  /// client re-validated its stale artifacts). Call once after
+  /// connect_backend(); the registered listener lives as long as the
+  /// client does.
+  void follow_backend(::dynaplat::backend::BackendClient& client);
+
   /// The manufacturer backend endpoint.
   void set_uplink(std::function<void(const monitor::FaultRecord&)> uplink) {
     uplink_ = std::move(uplink);
   }
+
+  /// Caps the offline backlog (drop-oldest beyond it). A multi-hour
+  /// outage must not grow pending_ without bound — dropped records are
+  /// counted under `diag.uplink.dropped`. 0 disables queueing entirely.
+  void set_uplink_queue_limit(std::size_t limit) {
+    uplink_queue_limit_ = limit;
+  }
+  std::size_t uplink_queue_limit() const { return uplink_queue_limit_; }
 
   const std::vector<monitor::FaultRecord>& all_faults() const {
     return store_;
   }
   std::size_t queued_for_uplink() const { return pending_.size(); }
   std::uint64_t uplinked() const { return uplinked_; }
+  std::uint64_t dropped_uplink() const { return dropped_uplink_; }
 
   /// Vehicle-wide diagnostic summary: per-ECU fault counts by kind plus
   /// each node's certification dataset (Sec. 3.4).
@@ -78,6 +95,8 @@ class DiagnosticsService {
   std::function<void(const monitor::FaultRecord&)> uplink_;
   bool online_ = true;
   std::uint64_t uplinked_ = 0;
+  std::size_t uplink_queue_limit_ = 4'096;
+  std::uint64_t dropped_uplink_ = 0;
 };
 
 }  // namespace dynaplat::platform

@@ -323,13 +323,28 @@ bool PlatformNode::resync_schedule(std::string* reason) {
   for (std::size_t core = 0; core < tts_.size(); ++core) {
     if (tts_[core] == nullptr) continue;
     const auto tasks = analysis_tasks(core);
-    const auto artifact =
-        platform_.backend().synthesize(tasks, ecu_.config().cpu.mips);
-    if (!artifact.feasible || !artifact.validated) {
-      if (reason != nullptr) *reason = artifact.reason;
+    // Resilient backend path: a fresh artifact or a cached one for this
+    // exact topology installs normally; an ECU-local admission verdict
+    // (backend down, nothing cached) keeps the previous TT table — the
+    // task set is RTA-schedulable, so running stale is safe — and reports
+    // failure so the caller's cadence retries once the uplink heals.
+    const auto outcome = platform_.backend_client().synthesize(
+        tasks, ecu_.config().cpu.mips,
+        ::dynaplat::backend::Criticality::kResync);
+    if (outcome.locally_admitted || !outcome.ok ||
+        !outcome.artifact.feasible || !outcome.artifact.validated) {
+      if (reason != nullptr) {
+        *reason = outcome.source ==
+                          ::dynaplat::backend::BackendOutcome::Source::kBackend
+                      ? outcome.artifact.reason
+                      : std::string("backend unreachable (") +
+                            ::dynaplat::backend::to_string(outcome.source) +
+                            " fallback)";
+      }
       all_ok = false;
       continue;
     }
+    const auto& artifact = outcome.artifact;
     // Map table task indices back to the processor's TaskIds by name.
     std::map<std::string, os::TaskId> by_name;
     for (const auto& [label, inst] : instances_) {

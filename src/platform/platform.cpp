@@ -13,6 +13,9 @@ DynamicPlatform::DynamicPlatform(sim::Simulator& simulator,
       deployment_(std::move(deployment)),
       config_(config),
       key_server_(config.security_seed) {
+  backend_client_ =
+      std::make_unique<::dynaplat::backend::BackendClient>(sim_);
+  backend_client_->set_loopback(&backend_);
   verifier_.set_schedulability_hook(dse::make_verifier_hook());
   // Pre-assign service ids in model order so all nodes agree.
   for (const auto& interface : model_.interfaces()) {
@@ -183,6 +186,15 @@ void DynamicPlatform::derive_access_matrix() {
       }
     }
   }
+}
+
+::dynaplat::backend::BackendClient& DynamicPlatform::connect_backend(
+    ::dynaplat::backend::FleetScheduleService& service,
+    ::dynaplat::backend::ClientConfig client_config) {
+  backend_client_ = std::make_unique<::dynaplat::backend::BackendClient>(
+      sim_, client_config);
+  backend_client_->connect(&service);
+  return *backend_client_;
 }
 
 }  // namespace dynaplat::platform

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/client.hpp"
 #include "dse/admission.hpp"
 #include "model/system_model.hpp"
 #include "model/verifier.hpp"
@@ -75,8 +76,25 @@ class DynamicPlatform {
   sim::Simulator& simulator() { return sim_; }
 
   /// Backend schedule server (runs "in the cloud": its compute cost is not
-  /// charged to any ECU).
+  /// charged to any ECU). Kept for tests and tooling that talk to the
+  /// engine directly; vehicle-side synthesis goes through backend_client().
   dse::ScheduleServer& backend() { return backend_; }
+
+  /// Resilient path to the backend: every vehicle-side synthesis call
+  /// (node resync, recovery planning) goes through this client. Defaults
+  /// to loopback on the in-process ScheduleServer above — zero behavior
+  /// change for single-vehicle scenarios.
+  ::dynaplat::backend::BackendClient& backend_client() {
+    return *backend_client_;
+  }
+
+  /// Points the vehicle at a fleet backend service instead of the
+  /// loopback engine. Replaces the client (the old one's breaker state,
+  /// cache and listeners are discarded), so call this before wiring
+  /// degradation / diagnostics listeners onto backend_client().
+  backend::BackendClient& connect_backend(
+      ::dynaplat::backend::FleetScheduleService& service,
+      ::dynaplat::backend::ClientConfig client_config = {});
 
   security::KeyServer& key_server() { return key_server_; }
   security::AccessMatrix& access_matrix() { return access_matrix_; }
@@ -93,6 +111,7 @@ class DynamicPlatform {
   PlatformConfig config_;
   model::Verifier verifier_;
   dse::ScheduleServer backend_;
+  std::unique_ptr<::dynaplat::backend::BackendClient> backend_client_;
   security::KeyServer key_server_;
   security::AccessMatrix access_matrix_;
 

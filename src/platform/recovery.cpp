@@ -213,11 +213,22 @@ bool RecoveryOrchestrator::admits(
   if (!admission.admit(existing, incoming).admitted) return false;
   if (def.app_class == model::AppClass::kDeterministic) {
     // DA targets must also pass backend table synthesis + simulation
-    // validation (Sec. 3.1 "CPU") before the plan relies on them.
+    // validation (Sec. 3.1 "CPU") before the plan relies on them. With
+    // the backend unreachable, the resilient client's fallback ladder
+    // decides instead: a cached artifact or the ECU-local admission fast
+    // path lets recovery proceed degraded (the RTA test above already
+    // passed) rather than stranding the vehicle; only a genuine
+    // infeasibility — or no fallback at all — rejects the placement.
     std::vector<dse::AnalysisTask> all = existing;
     all.insert(all.end(), incoming.begin(), incoming.end());
-    const auto artifact = platform_.backend().synthesize(all, ecu_def->mips);
-    if (!artifact.feasible || !artifact.validated) return false;
+    const auto outcome = platform_.backend_client().synthesize(
+        all, ecu_def->mips, ::dynaplat::backend::Criticality::kRecovery);
+    if (!outcome.ok) return false;
+    if (outcome.source ==
+            ::dynaplat::backend::BackendOutcome::Source::kBackend &&
+        (!outcome.artifact.feasible || !outcome.artifact.validated)) {
+      return false;
+    }
   }
   pending->insert(pending->end(), incoming.begin(), incoming.end());
   return true;

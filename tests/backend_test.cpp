@@ -1,0 +1,780 @@
+// Fleet backend robustness (ISSUE 9): FleetScheduleService admission /
+// shedding / backpressure / cross-vehicle cache / failure modes, the
+// vehicle-side BackendClient circuit breaker + fallback ladder, the
+// jittered reliable-transport retransmit backoff, the bounded diagnostics
+// uplink queue, and fleet-scale outage survival under ScenarioSweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "backend/client.hpp"
+#include "backend/fleet.hpp"
+#include "backend/service.hpp"
+#include "fault/campaign.hpp"
+#include "fault/invariants.hpp"
+#include "middleware/transport.hpp"
+#include "model/parser.hpp"
+#include "net/ethernet.hpp"
+#include "platform/diagnostics.hpp"
+#include "platform/platform.hpp"
+#include "platform/recovery.hpp"
+#include "sim/sweep.hpp"
+
+namespace dynaplat {
+namespace {
+
+using backend::BackendClient;
+using backend::BackendOutcome;
+using backend::BreakerState;
+using backend::ClientConfig;
+using backend::Criticality;
+using backend::FleetConfig;
+using backend::FleetDriver;
+using backend::FleetScheduleService;
+using backend::ResponseStatus;
+using backend::ServiceConfig;
+using backend::SynthesisRequest;
+using backend::SynthesisResponse;
+
+dse::AnalysisTask analysis_task(const std::string& name, sim::Duration period,
+                                sim::Duration wcet, int priority) {
+  dse::AnalysisTask t;
+  t.name = name;
+  t.period = period;
+  t.deadline = period;
+  t.wcet = wcet;
+  t.priority = priority;
+  t.deterministic = true;
+  return t;
+}
+
+std::vector<dse::AnalysisTask> feasible_set() {
+  return {analysis_task("a", 10 * sim::kMillisecond, sim::kMillisecond, 1),
+          analysis_task("b", 20 * sim::kMillisecond, 2 * sim::kMillisecond, 2)};
+}
+
+std::vector<dse::AnalysisTask> infeasible_set() {
+  return {analysis_task("x", 10 * sim::kMillisecond, 6 * sim::kMillisecond, 1),
+          analysis_task("y", 10 * sim::kMillisecond, 6 * sim::kMillisecond, 2)};
+}
+
+// --- FleetScheduleService -----------------------------------------------------
+
+TEST(FleetBackend, SubmitDeliversFeasibleArtifactAfterSimLatency) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator, {});
+  SynthesisRequest request;
+  request.criticality = Criticality::kResync;
+  request.tasks = feasible_set();
+  SynthesisResponse seen;
+  sim::Time delivered_at = 0;
+  service.submit(request, [&](const SynthesisResponse& response) {
+    seen = response;
+    delivered_at = simulator.now();
+  });
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(seen.status, ResponseStatus::kOk);
+  EXPECT_TRUE(seen.artifact.feasible);
+  EXPECT_TRUE(seen.artifact.validated);
+  EXPECT_FALSE(seen.cache_hit);
+  // At least the round trip plus the service-time floor elapsed.
+  EXPECT_GE(delivered_at, service.config().uplink_rtt +
+                              service.config().min_service_time);
+  EXPECT_EQ(service.completed(), 1u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(FleetBackend, CrossVehicleCacheSharesOneSynthesis) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator, {});
+  SynthesisRequest request;
+  request.tasks = feasible_set();
+  int ok = 0;
+  int hits = 0;
+  for (std::uint32_t session = 0; session < 5; ++session) {
+    request.session = session;
+    service.submit(request, [&](const SynthesisResponse& response) {
+      if (response.status == ResponseStatus::kOk) ++ok;
+      if (response.cache_hit) ++hits;
+    });
+  }
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(ok, 5);
+  EXPECT_EQ(hits, 4);  // one miss synthesizes, four sessions share it
+  EXPECT_EQ(service.synthesis_runs(), 1u);
+  EXPECT_EQ(service.cache_entries(), 1u);
+}
+
+TEST(FleetBackend, SaturatedQueueShedsRoutineAndPreemptsForRecovery) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.queue_capacity = 2;
+  config.backpressure_watermark = 2;  // never backpressure below full
+  config.recovery_reserve = 0;        // force the preemption path
+  config.workers = 1;
+  config.min_service_time = 10 * sim::kMillisecond;
+  FleetScheduleService service(simulator, config);
+
+  std::vector<ResponseStatus> ota_status(3, ResponseStatus::kUnreachable);
+  SynthesisRequest ota;
+  ota.criticality = Criticality::kOta;
+  ota.tasks = feasible_set();
+  for (int i = 0; i < 3; ++i) {
+    service.submit(ota, [&ota_status, i](const SynthesisResponse& response) {
+      ota_status[static_cast<std::size_t>(i)] = response.status;
+    });
+  }
+  SynthesisRequest recovery;
+  recovery.criticality = Criticality::kRecovery;
+  recovery.tasks = feasible_set();
+  ResponseStatus recovery_status = ResponseStatus::kUnreachable;
+  service.submit(recovery, [&](const SynthesisResponse& response) {
+    recovery_status = response.status;
+  });
+  simulator.run_until(sim::seconds(2));
+
+  // OTA 1 ran, OTA 3 was shed at the full queue, OTA 2 was preempted (its
+  // worker reservation reclaimed) so the recovery remap got its slot.
+  EXPECT_EQ(ota_status[0], ResponseStatus::kOk);
+  EXPECT_EQ(ota_status[2], ResponseStatus::kShed);
+  EXPECT_EQ(ota_status[1], ResponseStatus::kShed);
+  EXPECT_EQ(recovery_status, ResponseStatus::kOk);
+  EXPECT_EQ(service.preempted(), 1u);
+  EXPECT_GE(service.shed(Criticality::kOta), 2u);
+  EXPECT_EQ(service.shed(Criticality::kRecovery), 0u);
+}
+
+// Regression: shed/backpressure verdicts ride the downlink for uplink_rtt
+// before the vehicle sees them. Those in-flight rejection notices must not
+// count toward admission depth, or a saturated backend rejects new work on
+// the strength of its own reject traffic — a self-sustaining congestion
+// state the fleet bench used to collapse into at 10k sessions.
+TEST(FleetBackend, RejectTrafficCarriesNoAdmissionWeight) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.queue_capacity = 1;
+  config.backpressure_watermark = 1;
+  config.recovery_reserve = 1;
+  config.workers = 1;
+  config.min_service_time = 100 * sim::kMillisecond;
+  config.uplink_rtt = 10 * sim::kMillisecond;
+  FleetScheduleService service(simulator, config);
+
+  // A recovery occupies the single real queue slot (not preemptible).
+  SynthesisRequest recovery;
+  recovery.criticality = Criticality::kRecovery;
+  recovery.tasks = feasible_set();
+  ResponseStatus first_status = ResponseStatus::kUnreachable;
+  service.submit(recovery, [&](const SynthesisResponse& response) {
+    first_status = response.status;
+  });
+
+  // Flood with routine work: every request is rejected and each verdict
+  // is now in flight on the downlink for 10 ms.
+  SynthesisRequest ota;
+  ota.criticality = Criticality::kOta;
+  ota.tasks = feasible_set();
+  for (int i = 0; i < 8; ++i) {
+    service.submit(ota, [](const SynthesisResponse&) {});
+  }
+  EXPECT_EQ(service.shed(Criticality::kOta), 8u);
+  EXPECT_EQ(service.queue_depth(), 1u);  // rejects carry no weight
+
+  // While those 8 verdicts are still undelivered, a second recovery must
+  // still find the reserve slot.
+  ResponseStatus second_status = ResponseStatus::kUnreachable;
+  service.submit(recovery, [&](const SynthesisResponse& response) {
+    second_status = response.status;
+  });
+  simulator.run_until(sim::seconds(1));
+
+  EXPECT_EQ(first_status, ResponseStatus::kOk);
+  EXPECT_EQ(second_status, ResponseStatus::kOk);
+  EXPECT_EQ(service.shed(Criticality::kRecovery), 0u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(FleetBackend, BackpressureDefersRoutineWithGrowingHint) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.queue_capacity = 16;
+  config.backpressure_watermark = 2;
+  config.workers = 1;
+  config.min_service_time = 10 * sim::kMillisecond;
+  FleetScheduleService service(simulator, config);
+
+  SynthesisRequest ota;
+  ota.criticality = Criticality::kOta;
+  ota.tasks = feasible_set();
+  std::vector<SynthesisResponse> rejected;
+  for (int i = 0; i < 2; ++i) {
+    service.submit(ota, [](const SynthesisResponse&) {});
+  }
+  SynthesisRequest resync = ota;
+  resync.criticality = Criticality::kResync;
+  ResponseStatus resync_status = ResponseStatus::kUnreachable;
+  service.submit(resync, [&](const SynthesisResponse& response) {
+    resync_status = response.status;
+  });
+  // Above the watermark: routine work is deferred, not queued.
+  for (int i = 0; i < 2; ++i) {
+    service.submit(ota, [&](const SynthesisResponse& response) {
+      rejected.push_back(response);
+    });
+  }
+  simulator.run_until(sim::seconds(2));
+
+  ASSERT_EQ(rejected.size(), 2u);
+  EXPECT_EQ(rejected[0].status, ResponseStatus::kRetryAfter);
+  EXPECT_EQ(rejected[1].status, ResponseStatus::kRetryAfter);
+  EXPECT_GT(rejected[0].retry_after, 0);
+  EXPECT_GE(rejected[1].retry_after, rejected[0].retry_after);
+  EXPECT_GE(service.backpressured(), 2u);
+  // The watermark only gates kOta: the resync took a normal slot.
+  EXPECT_EQ(resync_status, ResponseStatus::kOk);
+}
+
+TEST(FleetBackend, CrashLosesOutstandingAndPartitionDropsResponses) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator, {});
+  SynthesisRequest request;
+  request.tasks = feasible_set();
+
+  int callbacks = 0;
+  service.submit(request, [&](const SynthesisResponse&) { ++callbacks; });
+  simulator.schedule_at(sim::kMillisecond, [&] { service.crash(); });
+  simulator.run_until(sim::seconds(1));
+  // Crash cancelled the outstanding completion: the client's timeout is
+  // the only signal, exactly like a dead backend in the field.
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.crashes(), 1u);
+
+  // While crashed, submissions are silently lost.
+  service.submit(request, [&](const SynthesisResponse&) { ++callbacks; });
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_GE(service.lost_unreachable(), 1u);
+
+  // Partition: the request is accepted-side invisible; an in-flight
+  // response is dropped at delivery time.
+  service.restart();
+  service.submit(request, [&](const SynthesisResponse&) { ++callbacks; });
+  simulator.schedule_at(simulator.now() + sim::kMillisecond,
+                        [&] { service.set_partitioned(true); });
+  simulator.run_until(sim::seconds(3));
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_GE(service.responses_dropped(), 1u);
+  service.set_partitioned(false);
+}
+
+// --- ScheduleServer error paths ----------------------------------------------
+
+TEST(ScheduleServerErrors, InfeasibleUnderConcurrentCallers) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator, {});
+  SynthesisRequest request;
+  request.tasks = infeasible_set();
+  int infeasible = 0;
+  std::set<std::string> reasons;
+  for (std::uint32_t session = 0; session < 8; ++session) {
+    request.session = session;
+    service.submit(request, [&](const SynthesisResponse& response) {
+      if (response.status == ResponseStatus::kInfeasible) ++infeasible;
+      EXPECT_FALSE(response.artifact.feasible);
+      reasons.insert(response.artifact.reason);
+    });
+  }
+  simulator.run_until(sim::seconds(2));
+  // Every concurrent caller gets the same deterministic verdict, and the
+  // negative result is memoized like any other artifact.
+  EXPECT_EQ(infeasible, 8);
+  EXPECT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(service.synthesis_runs(), 1u);
+}
+
+TEST(ScheduleServerErrors, CacheHitMatchesFreshRecompute) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator, {});
+  SynthesisRequest request;
+  request.tasks = feasible_set();
+  const SynthesisResponse first = service.query(request);
+  const SynthesisResponse second = service.query(request);
+  ASSERT_EQ(first.status, ResponseStatus::kOk);
+  ASSERT_EQ(second.status, ResponseStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+
+  const dse::ScheduleServer reference;
+  const auto fresh = reference.synthesize(request.tasks, request.ecu_mips);
+  for (const auto* artifact : {&first.artifact, &second.artifact}) {
+    EXPECT_EQ(artifact->feasible, fresh.feasible);
+    EXPECT_EQ(artifact->validated, fresh.validated);
+    EXPECT_EQ(artifact->synthesis_instructions, fresh.synthesis_instructions);
+    ASSERT_EQ(artifact->table.windows.size(), fresh.table.windows.size());
+    for (std::size_t i = 0; i < fresh.table.windows.size(); ++i) {
+      EXPECT_EQ(artifact->table.windows[i].offset,
+                fresh.table.windows[i].offset);
+      EXPECT_EQ(artifact->table.windows[i].length,
+                fresh.table.windows[i].length);
+      EXPECT_EQ(artifact->table.windows[i].task, fresh.table.windows[i].task);
+    }
+  }
+}
+
+// Recovery keeps working when the backend vanishes mid-flight: the DA
+// placement check in RecoveryOrchestrator::try_place falls through the
+// client's fallback ladder (ECU-local admission) instead of stranding the
+// displaced apps.
+TEST(ScheduleServerErrors, RecoveryProceedsWhenBackendVanishesMidFlight) {
+  sim::Simulator simulator;
+  auto parsed = model::parse_system(R"(
+network Net kind=ethernet bitrate=100M
+ecu A mips=1000 memory=64M asil=D network=Net
+ecu B mips=1000 memory=64M asil=D network=Net
+ecu C mips=1000 memory=64M asil=D network=Net
+app Brake class=deterministic asil=D memory=4M
+  task ctl period=10ms wcet=200K priority=1
+app Maps class=nondeterministic asil=QM memory=4M
+  task tiles period=50ms wcet=250K priority=9
+deploy Brake -> A
+deploy Maps -> A
+)");
+  net::EthernetSwitch backbone(simulator, "eth", {});
+  std::vector<std::unique_ptr<os::Ecu>> ecus;
+  net::NodeId next_node = 1;
+  for (const auto& ecu_def : parsed.model.ecus()) {
+    os::EcuConfig config;
+    config.name = ecu_def.name;
+    config.cpu.mips = ecu_def.mips;
+    config.memory_bytes = ecu_def.memory_bytes;
+    ecus.push_back(std::make_unique<os::Ecu>(simulator, config, &backbone,
+                                             next_node++));
+  }
+  platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
+  for (auto& ecu : ecus) dp.add_node(*ecu);
+  for (const auto& app : parsed.model.apps()) {
+    dp.register_app(app.name,
+                    [] { return std::make_unique<platform::Application>(); });
+  }
+  ASSERT_TRUE(dp.install_all());
+
+  FleetScheduleService service(simulator);
+  BackendClient& client = dp.connect_backend(service);
+  platform::RecoveryConfig recovery_config;
+  recovery_config.check_period = 50 * sim::kMillisecond;
+  recovery_config.commit_soak = 100 * sim::kMillisecond;
+  platform::RecoveryOrchestrator orchestrator(dp, recovery_config);
+  orchestrator.engage();
+
+  fault::FaultCampaign campaign(simulator);
+  campaign.add_ecu(*ecus[0]);
+  fault::FaultEvent crash;
+  crash.at = 300 * sim::kMillisecond;
+  crash.kind = fault::FaultKind::kEcuCrash;
+  crash.target = "A";
+  campaign.schedule(crash);
+  campaign.arm();
+  // The backend dies just before the vehicle needs it most.
+  simulator.schedule_at(250 * sim::kMillisecond, [&] { service.crash(); });
+  simulator.run_until(sim::seconds(3));
+
+  ASSERT_FALSE(orchestrator.plans().empty());
+  EXPECT_EQ(orchestrator.plans().front().status,
+            platform::PlanStatus::kCommitted)
+      << orchestrator.plans().front().reason;
+  EXPECT_TRUE(orchestrator.stranded().empty());
+  // The plan went through the degraded rung, not a fresh backend artifact.
+  EXPECT_GE(client.local_admissions() + client.stale_served(), 1u);
+}
+
+// --- BackendClient circuit breaker -------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresThenFastFails) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  service.crash();
+  ClientConfig config;
+  config.breaker_threshold = 3;
+  config.local_fallback = true;
+  BackendClient client(simulator, config);
+  client.connect(&service);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.breaker(), BreakerState::kClosed);
+    const BackendOutcome outcome =
+        client.synthesize(feasible_set(), 1'000, Criticality::kResync);
+    // Dead backend, empty cache: the ECU-local fast path keeps us safe.
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.locally_admitted);
+    EXPECT_EQ(outcome.source, BackendOutcome::Source::kLocalFallback);
+  }
+  EXPECT_EQ(client.breaker(), BreakerState::kOpen);
+  EXPECT_EQ(client.breaker_opens(), 1u);
+
+  const std::uint64_t before = service.lost_unreachable();
+  (void)client.synthesize(feasible_set(), 1'000, Criticality::kResync);
+  // OPEN short-circuits: no query even reached the (dead) service.
+  EXPECT_EQ(service.lost_unreachable(), before);
+  EXPECT_GE(client.breaker_fast_fails(), 1u);
+}
+
+TEST(CircuitBreaker, ReconnectRevalidatesStaleArtifactsBeforeClosing) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  ClientConfig config;
+  config.breaker_threshold = 2;
+  config.breaker_open_for = 100 * sim::kMillisecond;
+  BackendClient client(simulator, config);
+  client.connect(&service);
+
+  std::vector<std::pair<BreakerState, BreakerState>> transitions;
+  client.add_listener([&](BreakerState prev, BreakerState next) {
+    transitions.emplace_back(prev, next);
+  });
+
+  // Warm the vehicle-local cache while the backend is up.
+  const BackendOutcome warm =
+      client.synthesize(feasible_set(), 1'000, Criticality::kResync);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.source, BackendOutcome::Source::kBackend);
+  EXPECT_EQ(client.cached_artifacts(), 1u);
+
+  service.crash();
+  for (int i = 0; i < 2; ++i) {
+    const BackendOutcome outcome =
+        client.synthesize(feasible_set(), 1'000, Criticality::kResync);
+    // Same topology: served stale from the local cache, still safe.
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.stale);
+    EXPECT_EQ(outcome.source, BackendOutcome::Source::kCache);
+  }
+  EXPECT_EQ(client.breaker(), BreakerState::kOpen);
+  EXPECT_GE(client.stale_served(), 2u);
+
+  // Heal, wait out the open window, probe: HALF_OPEN -> CLOSED with the
+  // stale-served entry re-validated against the live backend first.
+  service.restart();
+  bool probed = false;
+  simulator.schedule_at(simulator.now() + 200 * sim::kMillisecond, [&] {
+    const BackendOutcome outcome =
+        client.synthesize(feasible_set(), 1'000, Criticality::kResync);
+    probed = outcome.ok;
+  });
+  simulator.run_until(simulator.now() + sim::seconds(1));
+  EXPECT_TRUE(probed);
+  EXPECT_EQ(client.breaker(), BreakerState::kClosed);
+  EXPECT_GE(client.revalidated(), 1u);
+  ASSERT_GE(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].second, BreakerState::kOpen);
+  EXPECT_EQ(transitions[1].second, BreakerState::kHalfOpen);
+  EXPECT_EQ(transitions.back().second, BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, FallbackLadderEndsAtExplicitNone) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  service.crash();
+  ClientConfig config;
+  config.local_fallback = false;  // ablation: no last rung
+  BackendClient client(simulator, config);
+  client.connect(&service);
+  const BackendOutcome outcome =
+      client.synthesize(feasible_set(), 1'000, Criticality::kRecovery);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.source, BackendOutcome::Source::kNone);
+  EXPECT_GE(client.exhausted(), 1u);
+}
+
+TEST(CircuitBreaker, AsyncRetriesAreCappedJitteredAndDeterministic) {
+  const auto run_once = [](std::uint64_t stream) {
+    sim::Simulator simulator;
+    FleetScheduleService service(simulator);
+    service.crash();
+    ClientConfig config;
+    config.request_timeout = 20 * sim::kMillisecond;
+    config.max_attempts = 3;
+    config.backoff_base = 10 * sim::kMillisecond;
+    config.breaker_threshold = 100;  // keep the breaker out of this test
+    config.jitter_stream = stream;
+    BackendClient client(simulator, config);
+    client.connect(&service);
+    SynthesisRequest request;
+    request.tasks = feasible_set();
+    int finished = 0;
+    sim::Time finished_at = 0;
+    BackendOutcome last;
+    client.request(request, [&](const BackendOutcome& outcome) {
+      ++finished;
+      finished_at = simulator.now();
+      last = outcome;
+    });
+    simulator.run_until(sim::seconds(5));
+    EXPECT_EQ(finished, 1);  // the callback fires exactly once
+    EXPECT_EQ(client.attempts(), 3u);
+    EXPECT_EQ(client.timeouts(), 3u);
+    EXPECT_TRUE(last.locally_admitted);
+    return finished_at;
+  };
+  const sim::Time a = run_once(7);
+  const sim::Time b = run_once(7);
+  const sim::Time c = run_once(8);
+  EXPECT_EQ(a, b);  // same jitter stream: bit-identical schedule
+  EXPECT_NE(a, c);  // distinct streams: decorrelated retry times
+}
+
+// --- Transport retransmit jitter ----------------------------------------------
+
+// Records every frame-send instant of a reliable transport aimed at a black
+// hole (no receiver, no acks): index 0 is the original send, the rest are
+// retransmissions at the (jittered) backoff schedule.
+std::vector<sim::Time> retransmit_times(sim::Simulator& simulator,
+                                        middleware::TransportConfig config) {
+  auto times = std::make_shared<std::vector<sim::Time>>();
+  auto transport = std::make_shared<middleware::Transport>(
+      [times, &simulator](net::Frame) { times->push_back(simulator.now()); },
+      64, &simulator, config);
+  std::vector<std::uint8_t> message(16, 0xAB);
+  transport->send(2, 1, 0, message);
+  simulator.run_until(simulator.now() + sim::seconds(10));
+  return *times;
+}
+
+TEST(TransportJitter, RetransmitsDesynchronizeAcrossPeers) {
+  middleware::TransportConfig config;
+  config.reliable = true;
+  config.ack_timeout = 20 * sim::kMillisecond;
+  config.max_retries = 4;
+  config.retry_jitter = 0.1;
+
+  sim::Simulator sim_a;
+  config.jitter_stream = 1;
+  const std::vector<sim::Time> peer_a = retransmit_times(sim_a, config);
+  sim::Simulator sim_b;
+  config.jitter_stream = 2;
+  const std::vector<sim::Time> peer_b = retransmit_times(sim_b, config);
+  sim::Simulator sim_a2;
+  config.jitter_stream = 1;
+  const std::vector<sim::Time> peer_a2 = retransmit_times(sim_a2, config);
+
+  ASSERT_EQ(peer_a.size(), 5u);  // original + 4 retries
+  ASSERT_EQ(peer_b.size(), 5u);
+  // Same stream: bit-reproducible. Distinct streams: every retransmit
+  // lands at a different instant — the lockstep retry storm is gone.
+  EXPECT_EQ(peer_a, peer_a2);
+  for (std::size_t i = 1; i < peer_a.size(); ++i) {
+    EXPECT_NE(peer_a[i], peer_b[i]) << "retry " << i << " still in lockstep";
+  }
+}
+
+TEST(TransportJitter, ZeroJitterPreservesExactLegacyTiming) {
+  middleware::TransportConfig config;
+  config.reliable = true;
+  config.ack_timeout = 20 * sim::kMillisecond;
+  config.backoff_factor = 2.0;
+  config.max_backoff = 200 * sim::kMillisecond;
+  config.max_retries = 3;
+  config.retry_jitter = 0.0;
+  sim::Simulator simulator;
+  const std::vector<sim::Time> times = retransmit_times(simulator, config);
+  ASSERT_EQ(times.size(), 4u);
+  // Pure exponential off ack_timeout: 20ms, +40ms, +80ms.
+  EXPECT_EQ(times[1] - times[0], 20 * sim::kMillisecond);
+  EXPECT_EQ(times[2] - times[1], 40 * sim::kMillisecond);
+  EXPECT_EQ(times[3] - times[2], 80 * sim::kMillisecond);
+}
+
+TEST(TransportJitter, JitterStaysWithinConfiguredBand) {
+  middleware::TransportConfig config;
+  config.reliable = true;
+  config.ack_timeout = 20 * sim::kMillisecond;
+  config.max_retries = 5;
+  config.retry_jitter = 0.25;
+  config.max_backoff = 1000 * sim::kMillisecond;
+  sim::Simulator simulator;
+  const std::vector<sim::Time> times = retransmit_times(simulator, config);
+  ASSERT_EQ(times.size(), 6u);
+  sim::Duration base = config.ack_timeout;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const sim::Duration gap = times[i] - times[i - 1];
+    const auto lo = static_cast<sim::Duration>(
+        static_cast<double>(base) * (1.0 - config.retry_jitter));
+    const auto hi = static_cast<sim::Duration>(
+        static_cast<double>(base) * (1.0 + config.retry_jitter));
+    EXPECT_GE(gap, lo) << "retry " << i;
+    EXPECT_LE(gap, hi + 1) << "retry " << i;
+    base = std::min<sim::Duration>(
+        static_cast<sim::Duration>(static_cast<double>(base) *
+                                   config.backoff_factor),
+        config.max_backoff);
+  }
+}
+
+// --- Diagnostics uplink queue bound --------------------------------------------
+
+TEST(DiagnosticsQueue, MultiHourOfflineBacklogIsBoundedDropOldest) {
+  sim::Simulator simulator;
+  net::EthernetSwitch backbone(simulator, "eth", {});
+  auto parsed = model::parse_system(
+      "network Net kind=ethernet\n"
+      "ecu A mips=100 memory=64M asil=D network=Net\n"
+      "app Over class=deterministic asil=B memory=4M\n"
+      "  task t period=10ms wcet=900K priority=1\n"
+      "deploy Over -> A\n");
+  const_cast<model::AppDef*>(parsed.model.app("Over"))
+      ->tasks[0]
+      .execution_jitter = 0.5;
+  os::EcuConfig config{.name = "A", .cpu = {.mips = 100}};
+  os::Ecu ecu(simulator, config, &backbone, 1);
+  platform::DynamicPlatform dp(simulator, parsed.model, parsed.deployment);
+  platform::NodeConfig node_config;
+  node_config.time_triggered = false;
+  node_config.admission_control = false;
+  auto& node = dp.add_node(ecu, node_config);
+  dp.register_app("Over",
+                  [] { return std::make_unique<platform::Application>(); });
+  ASSERT_TRUE(dp.install_all());
+
+  platform::DiagnosticsService diagnostics(dp);
+  diagnostics.attach(node);
+  diagnostics.set_uplink_queue_limit(4);
+  int uplinked = 0;
+  diagnostics.set_uplink([&](const monitor::FaultRecord&) { ++uplinked; });
+  diagnostics.set_online(false);
+
+  simulator.run_until(sim::seconds(5));
+  ASSERT_GT(diagnostics.all_faults().size(), 4u);
+  // The backlog is capped; everything beyond the cap was counted, not kept.
+  EXPECT_EQ(diagnostics.queued_for_uplink(), 4u);
+  EXPECT_EQ(diagnostics.dropped_uplink(),
+            diagnostics.all_faults().size() - 4u);
+
+  diagnostics.set_online(true);
+  EXPECT_EQ(uplinked, 4);
+  EXPECT_EQ(diagnostics.queued_for_uplink(), 0u);
+}
+
+// --- Fleet-scale outage survival ----------------------------------------------
+
+FleetConfig small_fleet(std::uint64_t seed) {
+  FleetConfig config;
+  config.sessions = 96;
+  config.topology_classes = 8;
+  config.seed = seed;
+  config.horizon = 8 * sim::kSecond;
+  config.ota_period = 1 * sim::kSecond;
+  config.wave_at = 1 * sim::kSecond;
+  config.wave_fraction = 0.5;
+  config.wave_stagger = 300 * sim::kMillisecond;
+  config.recovery_retry = 200 * sim::kMillisecond;
+  config.client.request_timeout = 50 * sim::kMillisecond;
+  config.client.backoff_base = 25 * sim::kMillisecond;
+  config.client.breaker_open_for = 250 * sim::kMillisecond;
+  return config;
+}
+
+TEST(FleetBackend, FullOutageLeavesNoVehicleStrandedUnsafe) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  // The outage spans the fault wave: every recovery request of the wave
+  // meets a dead backend first.
+  FleetConfig config = small_fleet(11);
+  config.outage_at = 900 * sim::kMillisecond;
+  config.outage_duration = 2 * sim::kSecond;
+  FleetDriver driver(simulator, service, config);
+  driver.run();
+
+  // Vehicles degraded through the fallback ladder instead of stranding.
+  EXPECT_GT(driver.fallback_cache() + driver.fallback_local(), 0u);
+  EXPECT_EQ(driver.fallback_none(), 0u);
+  EXPECT_GT(driver.client_breaker_opens(), 0u);
+  EXPECT_GT(driver.recoveries_completed(), 0u);
+
+  fault::InvariantChecker checker;
+  checker.require_backend_drained(service);
+  checker.require_no_stranded_vehicles(driver, 2 * sim::kSecond);
+  checker.require_fleet_recovery_bounded(driver, 4 * sim::kSecond);
+  const auto report = checker.run();
+  EXPECT_TRUE(report.passed) << report.summary();
+}
+
+TEST(FleetSweep, FleetRunsBitIdenticalAcrossThreadCounts) {
+  const auto scenario = [](sim::ScenarioRun& run) {
+    FleetConfig config = small_fleet(100 + run.index);
+    config.sessions = 32;
+    config.horizon = 4 * sim::kSecond;
+    config.outage_at = 800 * sim::kMillisecond;
+    config.outage_duration = 1 * sim::kSecond;
+    config.outage_is_partition = (run.index % 2) == 1;
+    FleetScheduleService service(run.simulator);
+    FleetDriver driver(run.simulator, service, config);
+    driver.run();
+    return driver.fingerprint();
+  };
+  std::vector<std::uint64_t> serial;
+  std::vector<std::uint64_t> parallel;
+  {
+    sim::ScenarioSweep sweep({.seed = 77, .threads = 0});
+    serial = sweep.run<std::uint64_t>(6, scenario);
+  }
+  {
+    sim::ScenarioSweep sweep({.seed = 77, .threads = 3});
+    parallel = sweep.run<std::uint64_t>(6, scenario);
+  }
+  ASSERT_EQ(serial.size(), 6u);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(sim::ScenarioSweep::merge_fingerprints(serial),
+            sim::ScenarioSweep::merge_fingerprints(parallel));
+}
+
+// --- FaultCampaign backend targets ---------------------------------------------
+
+TEST(FleetBackend, CampaignDrivesBackendFailureModes) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  service.set_name("backend");
+  fault::FaultCampaign campaign(simulator);
+  campaign.add_backend(service);
+
+  fault::FaultEvent crash;
+  crash.at = 10 * sim::kMillisecond;
+  crash.kind = fault::FaultKind::kBackendCrash;
+  crash.target = "backend";
+  campaign.schedule(crash);
+  fault::FaultEvent restart = crash;
+  restart.at = 20 * sim::kMillisecond;
+  restart.kind = fault::FaultKind::kBackendRestart;
+  campaign.schedule(restart);
+  fault::FaultEvent partition = crash;
+  partition.at = 30 * sim::kMillisecond;
+  partition.kind = fault::FaultKind::kUplinkPartition;
+  campaign.schedule(partition);
+  fault::FaultEvent heal = crash;
+  heal.at = 40 * sim::kMillisecond;
+  heal.kind = fault::FaultKind::kUplinkHeal;
+  campaign.schedule(heal);
+  fault::FaultEvent slow = crash;
+  slow.at = 50 * sim::kMillisecond;
+  slow.kind = fault::FaultKind::kBackendSlow;
+  slow.magnitude = 4.0;
+  campaign.schedule(slow);
+  campaign.arm();
+
+  simulator.schedule_at(15 * sim::kMillisecond,
+                        [&] { EXPECT_TRUE(service.crashed()); });
+  simulator.schedule_at(25 * sim::kMillisecond,
+                        [&] { EXPECT_FALSE(service.crashed()); });
+  simulator.schedule_at(35 * sim::kMillisecond,
+                        [&] { EXPECT_TRUE(service.partitioned()); });
+  simulator.schedule_at(45 * sim::kMillisecond,
+                        [&] { EXPECT_FALSE(service.partitioned()); });
+  simulator.run_until(100 * sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(service.slow_factor(), 4.0);
+  EXPECT_EQ(campaign.injected().size(), 5u);
+}
+
+}  // namespace
+}  // namespace dynaplat
