@@ -175,6 +175,7 @@ void throughput_experiment() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E5b_parallel_dse\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"apps\": %zu,\n  \"ecus\": %zu,\n", kApps, kEcus);
   std::fprintf(f, "  \"threads\": %zu,\n", kThreads);
   std::fprintf(f, "  \"host_threads\": %zu,\n",

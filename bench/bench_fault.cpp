@@ -29,7 +29,6 @@
 // the repro trips the same invariant. Results go to BENCH_fuzz.json; the
 // journal and repro land in fuzz_coverage.json / fuzz_repro.json. Exit
 // status enforces the E20 gates, so CI can run this as a fuzz smoke job.
-#include <sys/utsname.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -446,14 +445,10 @@ int sweep_main(std::size_t seeds, std::size_t threads) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E13s_parallel_seed_sweep\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"seeds\": %zu,\n", seeds);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
   std::fprintf(f, "  \"parallel_workers\": %zu,\n", threads);
-  utsname host{};
-  if (uname(&host) == 0) {
-    std::fprintf(f, "  \"host\": \"%s %s %s\",\n", host.sysname, host.release,
-                 host.machine);
-  }
   // An A/B on a box with fewer hardware threads than the parallel arm
   // measures pool/fork overhead, not speedup -- flag it so readers don't
   // quote the number as a parallelism result.
@@ -674,6 +669,7 @@ int fuzz_main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E20_coverage_guided_fuzz\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"master_seed\": %llu,\n",
                static_cast<unsigned long long>(fuzz_config.master_seed));
   std::fprintf(f, "  \"budget_scenarios\": %zu,\n", budget);
@@ -809,6 +805,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E13_fault_robustness\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"transport_loss_sweep\": [\n");
   for (std::size_t i = 0; i < transport_samples.size(); ++i) {
     const TransportOutcome& s = transport_samples[i];

@@ -1,6 +1,6 @@
-// E21 -- Sec. 2.3 + 4.1: fleet-scale backend robustness.
+// E21 + E22 -- Sec. 2.3 + 4.1: fleet-scale backend robustness and scaling.
 //
-// Three measurements against one FleetScheduleService:
+// E21 (robustness):
 //
 //   stampede      1k..10k vehicle sessions on a staggered OTA cadence; at
 //                 t = 5 s a fault wave hits half the fleet inside 500 ms
@@ -21,13 +21,39 @@
 //                 fails to demonstrate the stranding it exists to show).
 //
 //   determinism   the same fleet scenarios swept serially and on 3
-//                 threads must merge to bit-identical fingerprints
-//                 (exit non-zero otherwise).
+//                 threads must merge to bit-identical fingerprints.
 //
-// Machine-readable results go to BENCH_fleet.json following the
-// BENCH_fault.json pattern so successive PRs accumulate a trajectory.
+// E22 (scaling) -- the million-session fleet:
+//
+//   scaling tiers 10k / 100k / 1M sessions through a stampede + full
+//                 backend outage, with request batching, the calendar-
+//                 wheel driver and compressed SoA sessions. Reports host
+//                 wall time, sessions/sec, peak RSS, synthesis runs,
+//                 worker dequeues and the cohort-size histogram; the
+//                 no-stranded-vehicle invariant is enforced at every
+//                 tier (exit non-zero).
+//
+//   wheel gate    10k sessions driven by the timing wheel vs the kernel
+//                 heap must produce bit-identical FNV fingerprints: the
+//                 wheel is an optimization, not a semantics change.
+//
+//   batching gate batched vs serial service at 100k sessions with equal
+//                 served counts: the cohort path must cut worker
+//                 dequeues by at least 5x.
+//
+//   two regions   100k sessions split across two backend regions;
+//                 region 0 crashes over the wave. Breaker-driven
+//                 failover must keep every vehicle safe (fresh sibling
+//                 artifacts, cold-cache synthesis in region 1, zero
+//                 stranded).
+//
+// Machine-readable results go to BENCH_fleet.json. --ci caps the tier
+// ladder at 100k sessions and enforces a sessions/sec floor against the
+// 10k baseline so CI catches per-session cost regressions.
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -75,6 +101,24 @@ struct OutageRow {
   std::string verdict;
 };
 
+struct ScaleRow {
+  std::size_t sessions = 0;
+  double host_ms = 0.0;
+  double sessions_per_sec = 0.0;
+  std::size_t peak_rss_kb = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t synthesis_runs = 0;
+  std::uint64_t dequeues = 0;
+  std::uint64_t coalesced = 0;
+  double mean_batch = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_unsafe_ms = 0.0;
+  std::uint64_t recoveries = 0;
+  bool invariants_ok = false;
+  std::array<std::uint64_t, 16> batch_hist{};
+};
+
 backend::FleetConfig fleet_config(std::size_t sessions, std::uint64_t seed) {
   backend::FleetConfig config;
   config.sessions = sessions;
@@ -91,6 +135,12 @@ backend::FleetConfig fleet_config(std::size_t sessions, std::uint64_t seed) {
 
 void latency_percentiles(const backend::FleetDriver& driver, double* p50,
                          double* p95) {
+  if (driver.latencies().empty()) {
+    // Exact vector disabled (large tiers): log-histogram quantiles.
+    *p50 = driver.latency_quantile_ms(0.50);
+    *p95 = driver.latency_quantile_ms(0.95);
+    return;
+  }
   std::vector<double> ms;
   ms.reserve(driver.latencies().size());
   for (const sim::Duration d : driver.latencies()) {
@@ -216,14 +266,251 @@ bool determinism_gate() {
          sim::ScenarioSweep::merge_fingerprints(parallel);
 }
 
+// --- E22: million-session scaling --------------------------------------------
+
+/// Compressed short-horizon scenario for the big tiers: staggered OTA on a
+/// 10 ms phase grid (shared wheel instants AND shared service cohorts), a
+/// 50% fault wave at 2 s on top of a full backend crash at 1.5..2.5 s.
+backend::FleetConfig scale_config(std::size_t sessions, std::uint64_t seed) {
+  backend::FleetConfig config;
+  config.sessions = sessions;
+  config.topology_classes = 32;
+  config.seed = seed;
+  config.horizon = 6 * sim::kSecond;
+  config.ota_period = 2 * sim::kSecond;
+  config.ota_phase_grid = 10 * sim::kMillisecond;
+  config.wave_at = 2 * sim::kSecond;
+  config.wave_fraction = 0.5;
+  config.wave_stagger = 500 * sim::kMillisecond;
+  config.recovery_retry = 250 * sim::kMillisecond;
+  config.outage_at = 1'500 * sim::kMillisecond;
+  config.outage_duration = 1 * sim::kSecond;
+  // Exact latency vectors and their order-sensitive fingerprint folds stay
+  // on for the small tier only; big tiers use the bounded histogram.
+  config.record_latencies = sessions <= 10'000;
+  return config;
+}
+
+backend::ServiceConfig scale_service_config(std::size_t sessions,
+                                            bool batching) {
+  backend::ServiceConfig config;
+  config.batching = batching;
+  config.workers = std::max<std::size_t>(sessions / 2'000, 1);
+  config.min_service_time = 500 * sim::kMicrosecond;
+  // With batching, admission is charged per cohort, so the default-depth
+  // queue carries the whole fleet's load.
+  config.queue_capacity = 256;
+  config.backpressure_watermark = 192;
+  config.recovery_reserve = 32;
+  return config;
+}
+
+ScaleRow run_scale_tier(std::size_t sessions) {
+  ScaleRow row;
+  row.sessions = sessions;
+  bench::Stopwatch watch;
+  sim::Simulator simulator;
+  backend::FleetScheduleService service(simulator,
+                                        scale_service_config(sessions, true));
+  backend::FleetDriver driver(simulator, service, scale_config(sessions, 10));
+  driver.run();
+  row.host_ms = watch.elapsed_ms();
+  row.sessions_per_sec =
+      row.host_ms <= 0.0
+          ? 0.0
+          : static_cast<double>(sessions) / (row.host_ms / 1e3);
+  row.peak_rss_kb = bench::peak_rss_kb();
+  row.requests = service.requests_total();
+  row.synthesis_runs = service.synthesis_runs();
+  row.dequeues = service.dequeues();
+  row.coalesced = service.coalesced();
+  row.mean_batch =
+      service.dequeues() == 0
+          ? 0.0
+          : static_cast<double>(service.completed()) /
+                static_cast<double>(service.dequeues());
+  row.batch_hist = service.batch_size_histogram();
+  row.max_unsafe_ms =
+      static_cast<double>(driver.max_unsafe_duration()) / 1e6;
+  row.recoveries = driver.recoveries_completed();
+  latency_percentiles(driver, &row.p50_ms, &row.p95_ms);
+
+  fault::InvariantChecker checker;
+  checker.require_backend_drained(service);
+  checker.require_no_stranded_vehicles(driver, kUnsafeBound);
+  checker.require_fleet_recovery_bounded(driver, kRecoveryBound);
+  const fault::InvariantReport report = checker.run();
+  row.invariants_ok = report.passed;
+  if (!report.passed) {
+    std::fprintf(stderr, "scale tier %zu sessions:\n%s\n", sessions,
+                 report.summary().c_str());
+  }
+  return row;
+}
+
+/// The wheel must be invisible in results: same 10k fleet, wheel vs heap,
+/// bit-identical fingerprints. The session count is prime (10'007) so the
+/// exact OTA stagger period/sessions truncates to off-lattice nanosecond
+/// phases: timers and foreign kernel events then never share an instant,
+/// which is the wheel's documented equivalence precondition (DESIGN.md
+/// Sec. 15). A round 10'000 would put every timer on a 200 us lattice
+/// shared with transport deliveries and make same-instant cross-population
+/// ordering observable.
+bool wheel_vs_heap_gate() {
+  const auto arm = [](bool wheel) {
+    sim::Simulator simulator;
+    backend::FleetScheduleService service(simulator,
+                                          scale_service_config(10'007, true));
+    backend::FleetConfig config = scale_config(10'007, 10);
+    config.ota_phase_grid = 0;  // exact per-session stagger
+    config.use_timer_wheel = wheel;
+    backend::FleetDriver driver(simulator, service, config);
+    driver.run();
+    return driver.fingerprint();
+  };
+  const std::uint64_t with_wheel = arm(true);
+  const std::uint64_t with_heap = arm(false);
+  if (with_wheel != with_heap) {
+    std::fprintf(stderr, "wheel-vs-heap MISMATCH: wheel=%016llx heap=%016llx\n",
+                 static_cast<unsigned long long>(with_wheel),
+                 static_cast<unsigned long long>(with_heap));
+  }
+  return with_wheel == with_heap;
+}
+
+struct BatchingGate {
+  std::uint64_t batched_dequeues = 0;
+  std::uint64_t serial_dequeues = 0;
+  std::uint64_t batched_served = 0;
+  std::uint64_t serial_served = 0;
+  double ratio = 0.0;
+  bool ok = false;
+};
+
+/// Batched vs serial at 100k sessions. Both arms are provisioned so the
+/// backend never saturates (no shed, no backpressure, no client timeout):
+/// the request streams are then identical, served counts must match, and
+/// the only difference between the arms is how many worker dequeues it
+/// took to serve them. (Running the serial arm *overloaded* instead would
+/// both skew the comparison with retry inflation and trip the O(queue)
+/// preemption victim scan on every recovery request.)
+BatchingGate batching_gate(std::size_t sessions) {
+  BatchingGate gate;
+  const auto arm = [sessions](bool batching, std::uint64_t* dequeues,
+                              std::uint64_t* served) {
+    sim::Simulator simulator;
+    backend::ServiceConfig service_config =
+        scale_service_config(sessions, batching);
+    service_config.workers = std::max<std::size_t>(sessions / 500, 1);
+    service_config.queue_capacity = sessions;
+    service_config.backpressure_watermark = sessions;
+    backend::FleetScheduleService service(simulator, service_config);
+    backend::FleetConfig config = scale_config(sessions, 10);
+    config.outage_at = 0;  // pure load comparison, no outage
+    config.outage_duration = 0;
+    backend::FleetDriver driver(simulator, service, config);
+    driver.run();
+    *dequeues = service.dequeues();
+    *served = service.completed();
+  };
+  arm(true, &gate.batched_dequeues, &gate.batched_served);
+  arm(false, &gate.serial_dequeues, &gate.serial_served);
+  gate.ratio = gate.batched_dequeues == 0
+                   ? 0.0
+                   : static_cast<double>(gate.serial_dequeues) /
+                         static_cast<double>(gate.batched_dequeues);
+  // Served counts must agree to 0.1%: response latencies differ by a few
+  // ms between the arms (joiners ride the leader's service window), which
+  // flips a handful of OTA ticks for sessions still mid-recovery at their
+  // cadence instant. Exact equality is not achievable; unequal LOAD is
+  // what the tolerance rules out.
+  const double served_skew =
+      gate.serial_served == 0
+          ? 1.0
+          : static_cast<double>(
+                gate.batched_served > gate.serial_served
+                    ? gate.batched_served - gate.serial_served
+                    : gate.serial_served - gate.batched_served) /
+                static_cast<double>(gate.serial_served);
+  gate.ok = served_skew <= 0.001 && gate.ratio >= 5.0;
+  if (!gate.ok) {
+    std::fprintf(stderr,
+                 "batching gate FAILED: served %llu vs %llu, dequeues "
+                 "%llu vs %llu (%.1fx < 5x)\n",
+                 static_cast<unsigned long long>(gate.batched_served),
+                 static_cast<unsigned long long>(gate.serial_served),
+                 static_cast<unsigned long long>(gate.batched_dequeues),
+                 static_cast<unsigned long long>(gate.serial_dequeues),
+                 gate.ratio);
+  }
+  return gate;
+}
+
+struct RegionDrill {
+  std::uint64_t failovers = 0;
+  std::uint64_t region1_synthesis = 0;
+  std::uint64_t fallback_none = 0;
+  std::size_t unsafe_now = 0;
+  double max_unsafe_ms = 0.0;
+  std::uint64_t recoveries = 0;
+  bool ok = false;
+};
+
+/// Two regions, region 0 crashes over the wave: breaker-driven failover
+/// must recover every region-0 vehicle against region 1's cold cache and
+/// strand nobody.
+RegionDrill two_region_drill(std::size_t sessions) {
+  RegionDrill drill;
+  sim::Simulator simulator;
+  backend::FleetScheduleService region0(
+      simulator, scale_service_config(sessions / 2, true));
+  backend::FleetScheduleService region1(
+      simulator, scale_service_config(sessions / 2, true));
+  region0.set_name("region0");
+  region1.set_name("region1");
+  backend::FleetConfig config = scale_config(sessions, 10);
+  backend::FleetDriver driver(simulator, {&region0, &region1}, config);
+  driver.run();
+
+  drill.failovers = driver.failovers();
+  drill.region1_synthesis = region1.synthesis_runs();
+  drill.fallback_none = driver.fallback_none();
+  drill.unsafe_now = driver.unsafe_now();
+  drill.max_unsafe_ms =
+      static_cast<double>(driver.max_unsafe_duration()) / 1e6;
+  drill.recoveries = driver.recoveries_completed();
+
+  fault::InvariantChecker checker;
+  checker.require_no_stranded_vehicles(driver, kUnsafeBound);
+  checker.require_fleet_recovery_bounded(driver, kRecoveryBound);
+  const fault::InvariantReport report = checker.run();
+  drill.ok = report.passed && drill.failovers > 0 &&
+             drill.region1_synthesis > 0 && drill.fallback_none == 0;
+  if (!drill.ok) {
+    std::fprintf(stderr,
+                 "two-region drill FAILED (failovers=%llu r1_synth=%llu "
+                 "fb_none=%llu):\n%s\n",
+                 static_cast<unsigned long long>(drill.failovers),
+                 static_cast<unsigned long long>(drill.region1_synthesis),
+                 static_cast<unsigned long long>(drill.fallback_none),
+                 report.summary().c_str());
+  }
+  return drill;
+}
+
 }  // namespace
 
-int main() {
-  bench::banner("E21", "fleet backend robustness (Sec. 2.3 + 4.1)");
+int main(int argc, char** argv) {
+  bool ci = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) ci = true;
+  }
+  bench::banner("E21+E22",
+                "fleet backend robustness and scaling (Sec. 2.3 + 4.1)");
 
   std::vector<StampedeRow> stampede;
-  for (std::size_t sessions : {std::size_t{1'000}, std::size_t{4'000},
-                               std::size_t{10'000}}) {
+  for (std::size_t sessions :
+       {std::size_t{1'000}, std::size_t{4'000}, std::size_t{10'000}}) {
     stampede.push_back(run_stampede(sessions));
   }
   bench::Table table({"sessions", "synth_runs", "cache_hit", "shed_ota",
@@ -240,14 +527,13 @@ int main() {
                row.invariants_ok ? "PASS" : "FAIL"});
   }
 
-  std::printf("\n-- outage A/B (1k sessions, 3 s backend crash over the "
-              "wave) --\n");
+  std::printf(
+      "\n-- outage A/B (1k sessions, 3 s backend crash over the wave) --\n");
   const OutageRow resilient = run_outage(/*resilient=*/true);
   const OutageRow stranded = run_outage(/*resilient=*/false);
-  bench::Table outage_table({"arm", "peak_unsafe", "max_unsafe_ms",
-                             "fb_cache", "fb_local", "fb_none",
-                             "breaker_opens", "timeouts", "recoveries",
-                             "invariants"});
+  bench::Table outage_table({"arm", "peak_unsafe", "max_unsafe_ms", "fb_cache",
+                             "fb_local", "fb_none", "breaker_opens",
+                             "timeouts", "recoveries", "invariants"});
   for (const OutageRow* row : {&resilient, &stranded}) {
     outage_table.row(
         {row->arm, bench::fmt(row->peak_unsafe),
@@ -261,8 +547,57 @@ int main() {
   std::printf("\nsweep determinism (serial vs 3 threads): %s\n",
               deterministic ? "bit-identical" : "MISMATCH");
 
-  bool ok = deterministic;
+  // --- E22 ---
+  std::printf(
+      "\n-- E22 scaling (stampede + outage; batched + wheel + SoA; %s) --\n",
+      ci ? "ci ladder: 10k/100k" : "full ladder: 10k/100k/1M");
+  std::vector<std::size_t> tiers = {10'000, 100'000};
+  if (!ci) tiers.push_back(1'000'000);
+  std::vector<ScaleRow> scale;
+  for (const std::size_t sessions : tiers) {
+    scale.push_back(run_scale_tier(sessions));
+  }
+  bench::Table scale_table({"sessions", "host_ms", "sessions_per_s",
+                            "peak_rss_mb", "requests", "synth_runs",
+                            "dequeues", "mean_batch", "p50_ms", "p95_ms",
+                            "max_unsafe_ms", "invariants"});
+  for (const ScaleRow& row : scale) {
+    scale_table.row(
+        {bench::fmt(row.sessions), bench::fmt(row.host_ms, 0),
+         bench::fmt(row.sessions_per_sec, 0),
+         bench::fmt(static_cast<double>(row.peak_rss_kb) / 1024.0, 1),
+         bench::fmt(row.requests), bench::fmt(row.synthesis_runs),
+         bench::fmt(row.dequeues), bench::fmt(row.mean_batch, 1),
+         bench::fmt(row.p50_ms, 1), bench::fmt(row.p95_ms, 1),
+         bench::fmt(row.max_unsafe_ms, 1),
+         row.invariants_ok ? "PASS" : "FAIL"});
+  }
+
+  const bool wheel_ok = wheel_vs_heap_gate();
+  std::printf("wheel-vs-heap fingerprint (10k sessions): %s\n",
+              wheel_ok ? "bit-identical" : "MISMATCH");
+
+  const BatchingGate batch_gate = batching_gate(100'000);
+  std::printf(
+      "batched vs serial dequeues (100k, served %llu vs %llu): "
+      "%llu vs %llu (%.1fx) %s\n",
+      static_cast<unsigned long long>(batch_gate.batched_served),
+      static_cast<unsigned long long>(batch_gate.serial_served),
+      static_cast<unsigned long long>(batch_gate.batched_dequeues),
+      static_cast<unsigned long long>(batch_gate.serial_dequeues),
+      batch_gate.ratio, batch_gate.ok ? "PASS" : "FAIL");
+
+  const RegionDrill drill = two_region_drill(100'000);
+  std::printf(
+      "two-region outage drill (100k): failovers=%llu region1_synth=%llu "
+      "stranded=%zu %s\n",
+      static_cast<unsigned long long>(drill.failovers),
+      static_cast<unsigned long long>(drill.region1_synthesis),
+      drill.unsafe_now, drill.ok ? "PASS" : "FAIL");
+
+  bool ok = deterministic && wheel_ok && batch_gate.ok && drill.ok;
   for (const StampedeRow& row : stampede) ok = ok && row.invariants_ok;
+  for (const ScaleRow& row : scale) ok = ok && row.invariants_ok;
   // The resilient arm carries the headline; the ablation arm must actually
   // exhibit the stranding the fallback ladder exists to prevent.
   ok = ok && resilient.invariants_ok;
@@ -281,6 +616,19 @@ int main() {
                  static_cast<unsigned long long>(stranded.fallback_none),
                  stranded.max_unsafe_ms, resilient.max_unsafe_ms);
   }
+  // CI regression floor: 100k must stay within 5x of the 10k per-session
+  // cost (throughput floor at 20% of the small-tier baseline).
+  if (ci && scale.size() >= 2) {
+    const double floor = scale[0].sessions_per_sec * 0.2;
+    if (scale[1].sessions_per_sec < floor) {
+      std::fprintf(stderr,
+                   "sessions/sec regression: 100k at %.0f < floor %.0f "
+                   "(10k baseline %.0f)\n",
+                   scale[1].sessions_per_sec, floor,
+                   scale[0].sessions_per_sec);
+      ok = false;
+    }
+  }
 
   std::FILE* f = std::fopen("BENCH_fleet.json", "w");
   if (f == nullptr) {
@@ -288,7 +636,8 @@ int main() {
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"experiment\": \"E21_fleet_backend_robustness\",\n");
+  std::fprintf(f, "  \"experiment\": \"E22_fleet_scaling\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"stampede\": [\n");
   for (std::size_t i = 0; i < stampede.size(); ++i) {
     const StampedeRow& row = stampede[i];
@@ -344,6 +693,69 @@ int main() {
     std::fprintf(f, "    }%s\n", i == 0 ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const ScaleRow& row = scale[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"sessions\": %zu,\n", row.sessions);
+    std::fprintf(f, "      \"host_ms\": %.1f,\n", row.host_ms);
+    std::fprintf(f, "      \"sessions_per_sec\": %.0f,\n",
+                 row.sessions_per_sec);
+    std::fprintf(f, "      \"peak_rss_kb\": %zu,\n", row.peak_rss_kb);
+    std::fprintf(f, "      \"requests_total\": %llu,\n",
+                 static_cast<unsigned long long>(row.requests));
+    std::fprintf(f, "      \"synthesis_runs\": %llu,\n",
+                 static_cast<unsigned long long>(row.synthesis_runs));
+    std::fprintf(f, "      \"dequeues\": %llu,\n",
+                 static_cast<unsigned long long>(row.dequeues));
+    std::fprintf(f, "      \"coalesced\": %llu,\n",
+                 static_cast<unsigned long long>(row.coalesced));
+    std::fprintf(f, "      \"mean_batch\": %.1f,\n", row.mean_batch);
+    std::fprintf(f, "      \"batch_size_histogram\": [");
+    for (std::size_t b = 0; b < row.batch_hist.size(); ++b) {
+      std::fprintf(f, "%s%llu", b ? ", " : "",
+                   static_cast<unsigned long long>(row.batch_hist[b]));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "      \"recovery_p50_ms\": %.2f,\n", row.p50_ms);
+    std::fprintf(f, "      \"recovery_p95_ms\": %.2f,\n", row.p95_ms);
+    std::fprintf(f, "      \"max_unsafe_ms\": %.2f,\n", row.max_unsafe_ms);
+    std::fprintf(f, "      \"recoveries_completed\": %llu,\n",
+                 static_cast<unsigned long long>(row.recoveries));
+    std::fprintf(f, "      \"invariants_pass\": %s\n",
+                 row.invariants_ok ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < scale.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"wheel_matches_heap\": %s,\n",
+               wheel_ok ? "true" : "false");
+  std::fprintf(f, "  \"batching_gate\": {\n");
+  std::fprintf(f, "    \"sessions\": 100000,\n");
+  std::fprintf(f, "    \"batched_dequeues\": %llu,\n",
+               static_cast<unsigned long long>(batch_gate.batched_dequeues));
+  std::fprintf(f, "    \"serial_dequeues\": %llu,\n",
+               static_cast<unsigned long long>(batch_gate.serial_dequeues));
+  std::fprintf(f, "    \"batched_served\": %llu,\n",
+               static_cast<unsigned long long>(batch_gate.batched_served));
+  std::fprintf(f, "    \"serial_served\": %llu,\n",
+               static_cast<unsigned long long>(batch_gate.serial_served));
+  std::fprintf(f, "    \"dequeue_reduction\": %.2f,\n", batch_gate.ratio);
+  std::fprintf(f, "    \"pass\": %s\n", batch_gate.ok ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"two_region_drill\": {\n");
+  std::fprintf(f, "    \"sessions\": 100000,\n");
+  std::fprintf(f, "    \"failovers\": %llu,\n",
+               static_cast<unsigned long long>(drill.failovers));
+  std::fprintf(f, "    \"region1_synthesis_runs\": %llu,\n",
+               static_cast<unsigned long long>(drill.region1_synthesis));
+  std::fprintf(f, "    \"fallback_none\": %llu,\n",
+               static_cast<unsigned long long>(drill.fallback_none));
+  std::fprintf(f, "    \"stranded\": %zu,\n", drill.unsafe_now);
+  std::fprintf(f, "    \"max_unsafe_ms\": %.2f,\n", drill.max_unsafe_ms);
+  std::fprintf(f, "    \"recoveries_completed\": %llu,\n",
+               static_cast<unsigned long long>(drill.recoveries));
+  std::fprintf(f, "    \"pass\": %s\n", drill.ok ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"sweep_deterministic\": %s\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "}\n");

@@ -30,7 +30,6 @@
 //
 // Writes BENCH_middleware.json; exits nonzero on parity / allocation /
 // determinism failure (and on a grossly regressed speedup) so CI gates on it.
-#include <sys/utsname.h>
 
 #include <algorithm>
 #include <atomic>
@@ -674,11 +673,7 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E18_zero_copy_middleware\",\n");
-  utsname host{};
-  if (uname(&host) == 0) {
-    std::fprintf(f, "  \"host\": \"%s %s %s\",\n", host.sysname, host.release,
-                 host.machine);
-  }
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n",
                concurrency::ThreadPool::hardware_threads());
   std::fprintf(f, "  \"workloads\": [\n");

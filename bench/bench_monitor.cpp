@@ -150,6 +150,7 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E10_runtime_monitoring\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"samples\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];

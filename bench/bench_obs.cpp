@@ -382,6 +382,7 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"obs_record_cost\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"events\": %llu,\n",
                static_cast<unsigned long long>(kEvents));
   std::fprintf(f, "  \"ring_capacity\": %zu,\n", kRingCapacity);

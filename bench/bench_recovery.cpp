@@ -211,6 +211,7 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E15_transactional_recovery\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"kill_sweep\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Outcome& s = samples[i];

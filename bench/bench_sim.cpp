@@ -347,6 +347,7 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"experiment\": \"E16_event_kernel\",\n");
+  bench::fprint_host_json(f);
   std::fprintf(f, "  \"reps\": %d,\n", kReps);
   std::fprintf(f, "  \"mixed\": {\n");
   json_throughput(f, "legacy", mixed_legacy, "    ");

@@ -8,10 +8,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <thread>
 #include <type_traits>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/utsname.h>
+#endif
 
 namespace dynaplat::bench {
 
@@ -123,6 +129,83 @@ inline double min_elapsed_ms(int reps, Fn&& fn) {
     if (i == 0 || ms < best) best = ms;
   }
   return best;
+}
+
+// --- Host context ------------------------------------------------------------
+//
+// Wall-clock results mean nothing without the machine they were taken on:
+// every BENCH_*.json embeds a "host" object so successive PRs' trajectories
+// are comparable (or visibly not).
+
+struct HostInfo {
+  unsigned hardware_threads = 0;
+  std::string cpu_model;  ///< /proc/cpuinfo "model name" (empty if unknown)
+  std::string os;         ///< uname sysname + release (empty if unknown)
+};
+
+inline HostInfo host_info() {
+  HostInfo info;
+  info.hardware_threads = std::thread::hardware_concurrency();
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        std::string model = colon + 1;
+        while (!model.empty() && (model.front() == ' ' || model.front() == '\t'))
+          model.erase(model.begin());
+        while (!model.empty() && (model.back() == '\n' || model.back() == '\r'))
+          model.pop_back();
+        info.cpu_model = std::move(model);
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+  utsname names{};
+  if (uname(&names) == 0) {
+    info.os = std::string(names.sysname) + " " + names.release;
+  }
+#endif
+  return info;
+}
+
+/// Peak resident set size in kB (/proc/self/status VmHWM; 0 if unknown).
+inline std::size_t peak_rss_kb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::size_t kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    return kb;
+  }
+#endif
+  return 0;
+}
+
+/// Emits the standard `"host": {...},` JSON fragment (two-space indent,
+/// trailing comma) — call right after the opening `{` of a BENCH_*.json.
+inline void fprint_host_json(std::FILE* f) {
+  const HostInfo info = host_info();
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::fprintf(f, "  \"host\": {\n");
+  std::fprintf(f, "    \"hardware_threads\": %u,\n", info.hardware_threads);
+  std::fprintf(f, "    \"cpu_model\": \"%s\",\n",
+               escaped(info.cpu_model).c_str());
+  std::fprintf(f, "    \"os\": \"%s\"\n", escaped(info.os).c_str());
+  std::fprintf(f, "  },\n");
 }
 
 }  // namespace dynaplat::bench

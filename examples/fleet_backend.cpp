@@ -13,6 +13,13 @@
 // no vehicle stayed stranded unsafe, and every recovery completed within
 // a bound of the backend healing.
 //
+// Part 3 shards the same fleet across TWO backend regions (home region =
+// session id mod 2) and crashes region 0 over the wave. Vehicles homed on
+// the dead region time out, their breakers open, and instead of falling
+// back to degraded local mode they fail over to the sibling region and
+// get FRESH synthesis from its cold cache: zero vehicles stranded, zero
+// exhausted fallback ladders.
+//
 // Usage: fleet_backend
 #include <cstdio>
 
@@ -149,9 +156,67 @@ int fleet_drill() {
   return report.passed ? 0 : 1;
 }
 
+int region_failover_drill() {
+  std::printf("\n== 200-vehicle fleet, two regions, region 0 dies over the "
+              "wave ==\n");
+  sim::Simulator simulator;
+  backend::FleetScheduleService region0(simulator);
+  backend::FleetScheduleService region1(simulator);
+  region0.set_name("region0");
+  region1.set_name("region1");
+  backend::FleetConfig config;
+  config.sessions = 200;
+  config.topology_classes = 16;
+  config.seed = 7;
+  config.horizon = 12 * sim::kSecond;
+  config.wave_at = 5 * sim::kSecond;
+  config.wave_fraction = 0.5;
+  // Same outage as part 2 -- but now it only takes out region 0, the home
+  // region of the even-numbered sessions.
+  config.outage_at = 4'500 * sim::kMillisecond;
+  config.outage_duration = 3 * sim::kSecond;
+  backend::FleetDriver driver(simulator, {&region0, &region1}, config);
+  driver.run();
+
+  std::printf("  regions=%zu, failovers=%llu (home breaker opens, traffic "
+              "shifts to the sibling)\n",
+              driver.regions(),
+              static_cast<unsigned long long>(driver.failovers()));
+  std::printf("  region0: %llu requests, %llu synthesis runs, crashed %llu "
+              "times\n",
+              static_cast<unsigned long long>(region0.requests_total()),
+              static_cast<unsigned long long>(region0.synthesis_runs()),
+              static_cast<unsigned long long>(region0.crashes()));
+  std::printf("  region1: %llu requests, %llu synthesis runs (cold-cache "
+              "synthesis for the refugees)\n",
+              static_cast<unsigned long long>(region1.requests_total()),
+              static_cast<unsigned long long>(region1.synthesis_runs()));
+  std::printf("  fallbacks: stale cache=%llu local=%llu none=%llu -- with a "
+              "sibling region the ladder is barely touched\n",
+              static_cast<unsigned long long>(driver.fallback_cache()),
+              static_cast<unsigned long long>(driver.fallback_local()),
+              static_cast<unsigned long long>(driver.fallback_none()));
+  std::printf("  longest unsafe window %.1f ms, recoveries completed=%llu\n",
+              ms(driver.max_unsafe_duration()),
+              static_cast<unsigned long long>(driver.recoveries_completed()));
+
+  fault::InvariantChecker checker;
+  checker.require_no_stranded_vehicles(driver, 2 * sim::kSecond);
+  checker.require_fleet_recovery_bounded(driver, 4 * sim::kSecond);
+  const fault::InvariantReport report = checker.run();
+  std::printf("\n%s\n", report.summary().c_str());
+  const bool failed_over = driver.failovers() > 0;
+  if (!failed_over) {
+    std::printf("FAIL: expected breaker-driven failover to region 1\n");
+  }
+  return (report.passed && failed_over) ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
   breaker_walkthrough();
-  return fleet_drill();
+  const int drill = fleet_drill();
+  const int failover = region_failover_drill();
+  return drill != 0 ? drill : failover;
 }

@@ -1,10 +1,9 @@
-// Fleet driver: N simulated vehicle sessions against one
-// FleetScheduleService (experiment E21).
+// Fleet driver: N simulated vehicle sessions against one or more
+// FleetScheduleService regions (experiments E21/E22).
 //
 // Each session is a vehicle with a deterministic app topology (sessions
 // sharing a topology class generate *identical* analysis task sets — the
-// cross-vehicle cache's whole reason to exist), its own BackendClient
-// (distinct jitter stream = session index), a staggered routine OTA
+// cross-vehicle cache's whole reason to exist), a staggered routine OTA
 // resync cadence, and a recovery state machine driven by the fault wave:
 //
 //   kNominal --wave hit--> kUnsafe --fallback ok--> kSafeDegraded
@@ -19,22 +18,41 @@
 // recovery synthesis on a fixed cadence until the backend delivers a
 // fresh artifact.
 //
+// Million-session scaling (ISSUE 10, DESIGN.md §15): the driver stores
+// sessions as structure-of-arrays — 8/16-bit enums and flags, indices
+// instead of pointers, per-class task sets and artifacts shared through a
+// topology-class table — at ~35 hot bytes per session, and implements the
+// BackendClient resilience semantics (per-attempt timeout, capped jittered
+// backoff, circuit breaker, stale-cache / local-admission fallback ladder,
+// stale revalidation on reconnect) over that compact state instead of
+// embedding a fat client object per vehicle. Jitter draws derive from
+// sim::Random::stream(jitter_seed, session·2^32 + draw#) so no generator
+// state is stored. Timers (OTA cadences, timeouts, backoff, recovery
+// retry) run on a sim::TimerWheel by default; FleetConfig::use_timer_wheel
+// = false keeps them on the kernel heap for the A/B and fingerprint gate.
+//
+// Multi-region: with N services, session i's home region is i % N. While
+// the home breaker is OPEN, attempts fail over to the sibling region (a
+// cold memo cache there re-runs synthesis); the HALF_OPEN probe returns
+// traffic home after heal and revalidates stale artifacts.
+//
 // The driver can inject its own backend outage window (crash/restart or
-// uplink partition) so the bench and tests don't need fault::FaultCampaign
-// (which lives above this library); campaigns can still target the
-// service directly via FaultCampaign::add_backend.
+// uplink partition, hitting region 0) so the bench and tests don't need
+// fault::FaultCampaign; campaigns can still target the service directly.
 //
 // Determinism: everything derives from FleetConfig::seed through
 // sim::Random::stream — a FleetDriver run is a pure function of its
 // config and is swept bit-identically by sim::ScenarioSweep.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "backend/client.hpp"
 #include "backend/service.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace dynaplat::backend {
 
@@ -48,6 +66,11 @@ struct FleetConfig {
   /// Per-session routine OTA resync period (start staggered across the
   /// fleet so nominal load is smooth).
   sim::Duration ota_period = 2 * sim::kSecond;
+  /// Quantize the per-session OTA phase onto this grid (0 = exact i·P/N
+  /// stagger). Shared phase instants are what let the timing wheel fire a
+  /// whole cohort from one kernel event — and what hands the service's
+  /// request batcher its cohorts.
+  sim::Duration ota_phase_grid = 0;
   /// Fault wave: at wave_at, wave_fraction of the fleet loses an ECU,
   /// spread over wave_stagger — the stampede.
   sim::Duration wave_at = 5 * sim::kSecond;
@@ -56,9 +79,14 @@ struct FleetConfig {
   /// Degraded sessions re-submit recovery synthesis on this cadence until
   /// the backend delivers a fresh artifact.
   sim::Duration recovery_retry = 250 * sim::kMillisecond;
-  /// Per-session client config (jitter_stream is overridden per session).
+  /// Vehicle-side resilience knobs (timeout/backoff/breaker/fallback);
+  /// jitter_stream is implicitly the session index.
   ClientConfig client;
-  /// Driver-injected backend outage window (0 = none).
+  /// Fraction of sessions whose task set drifts from its class (a
+  /// per-vehicle mutation): each drifted vehicle becomes its own
+  /// singleton topology class, fragmenting the memo-cache key space.
+  double topology_drift_fraction = 0.0;
+  /// Driver-injected backend outage window (0 = none; hits region 0).
   sim::Duration outage_at = 0;
   sim::Duration outage_duration = 0;
   /// true: uplink partition; false: backend crash + restart.
@@ -67,17 +95,30 @@ struct FleetConfig {
   /// much longer so in-flight requests settle — end-of-run invariants
   /// (backend drained, recoveries complete) read a quiescent system.
   sim::Duration drain_grace = 2 * sim::kSecond;
+  /// Drive cadences/timeouts/backoff on a sim::TimerWheel (false = kernel
+  /// heap; the E22 A/B and the wheel-vs-heap fingerprint gate flip this).
+  bool use_timer_wheel = true;
+  sim::TimerWheel::Config wheel;
+  /// Keep the exact per-request latency vector (order-sensitive, folded
+  /// into the fingerprint). Disable at 1M sessions; the bounded log-scale
+  /// histogram still feeds quantiles either way.
+  bool record_latencies = true;
 };
 
 class FleetDriver {
  public:
   FleetDriver(sim::Simulator& simulator, FleetScheduleService& service,
               FleetConfig config);
+  /// Multi-region: session i's home is services[i % services.size()].
+  FleetDriver(sim::Simulator& simulator,
+              std::vector<FleetScheduleService*> services, FleetConfig config);
+  ~FleetDriver();
   FleetDriver(const FleetDriver&) = delete;
   FleetDriver& operator=(const FleetDriver&) = delete;
 
   /// Builds the fleet, schedules OTA cadences / fault wave / outage, and
-  /// runs the simulator to the horizon.
+  /// runs the simulator to the horizon. Re-runnable: timers from earlier
+  /// runs are epoch-guarded and the wheel is rebuilt per run.
   void run();
 
   // --- Robustness surface (invariants + bench read these) -------------------
@@ -104,15 +145,38 @@ class FleetDriver {
   std::uint64_t fallback_local() const { return fallback_local_; }
   std::uint64_t fallback_none() const { return fallback_none_; }
   /// End-to-end sim-time latency of every backend-served request
-  /// (first submission -> final outcome), in scheduling order.
+  /// (first submission -> final outcome), in scheduling order. Empty when
+  /// FleetConfig::record_latencies is off (use the quantile surface).
   const std::vector<sim::Duration>& latencies() const { return latencies_; }
+  /// Requests measured into the latency histogram (always maintained).
+  std::uint64_t latency_count() const { return lat_count_; }
+  sim::Duration latency_max() const { return lat_max_; }
+  /// Approximate quantile (log-bucket resolution, ±~12%) in milliseconds.
+  double latency_quantile_ms(double q) const;
 
-  std::uint64_t client_timeouts() const;
-  std::uint64_t client_breaker_opens() const;
+  // --- Compact-engine surface ----------------------------------------------
+  std::uint64_t client_timeouts() const { return timeouts_; }
+  std::uint64_t client_breaker_opens() const { return breaker_opens_; }
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  std::uint64_t stale_served() const { return stale_served_; }
+  std::uint64_t local_admissions() const { return local_admissions_; }
+  std::uint64_t revalidated() const { return revalidated_; }
+  /// Attempts redirected to a sibling region while home was OPEN.
+  std::uint64_t failovers() const { return failovers_; }
+  std::size_t regions() const { return services_.size(); }
+  /// Topology classes actually built (base classes + drifted singletons).
+  std::size_t topology_class_count() const { return classes_.size(); }
+  /// Bytes of per-session array state (the SoA compression target).
+  static constexpr std::size_t hot_bytes_per_session() {
+    return sizeof(std::uint8_t) * 3 +   // state, flags, breaker
+           sizeof(std::uint32_t) * 2 +  // class index, jitter draw count
+           sizeof(sim::Time) * 3;       // open_until, unsafe_since, issued
+  }
 
-  /// FNV-1a over driver counters + every session's client fingerprint +
-  /// the service fingerprint: the sweep determinism gate compares this
-  /// across thread counts.
+  /// FNV-1a over driver counters, the latency record, every per-session
+  /// state array and each region's service fingerprint: the sweep and
+  /// wheel-vs-heap determinism gates compare this across runs.
   std::uint64_t fingerprint() const;
 
   const FleetConfig& config() const { return config_; }
@@ -123,33 +187,129 @@ class FleetDriver {
     kUnsafe,        ///< ECU lost, no valid remap — must be transient
     kSafeDegraded,  ///< running on stale/local artifact, recovery pending
   };
+  // flags_ bits.
+  static constexpr std::uint8_t kFlagRecoveryInflight = 1u << 0;
+  static constexpr std::uint8_t kFlagHasArtifact = 1u << 1;
+  static constexpr std::uint8_t kFlagStaleUsed = 1u << 2;
+  // breaker_ packing: low 2 bits state, high 6 bits consecutive failures.
+  static constexpr std::uint8_t kBreakerStateMask = 0x03;
 
-  struct Session {
-    std::uint32_t index = 0;
-    std::size_t topology = 0;
+  struct TopologyClass {
     std::vector<dse::AnalysisTask> tasks;
     std::uint64_t ecu_mips = 1'000;
-    std::unique_ptr<BackendClient> client;
-    SessionState state = SessionState::kNominal;
-    sim::Time unsafe_since = 0;
-    sim::Time recovery_issued = 0;
-    bool recovery_inflight = false;
+    std::uint64_t key = 0;  ///< precomputed topology_key (request key_hint)
+    /// Vehicle-local artifact cache, compressed: the artifact bytes are
+    /// identical for every vehicle of the class, so they are stored once
+    /// here; per-session kFlagHasArtifact says whether *this* vehicle
+    /// holds a copy, kFlagStaleUsed whether it served it stale.
+    dse::ScheduleServer::Artifact artifact;
+    bool artifact_valid = false;
+  };
+
+  /// One timer handle usable on either driver arm (wheel or kernel heap).
+  struct Timer {
+    sim::EventId ev;
+    sim::TimerWheel::TimerId wt;
+  };
+
+  /// In-flight request slab entry, sized O(in-flight), not O(sessions).
+  struct Pending {
+    std::uint32_t session = 0;
+    std::uint8_t kind = 0;  // 0 = ota, 1 = recovery
+    std::uint8_t target_region = 0;
+    std::uint8_t attempt = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t attempt_token = 0;
+    std::uint32_t next_free = 0xFFFFFFFFu;
+    bool in_use = false;
+    sim::Duration backoff = 0;
+    sim::Time issued = 0;
+    Timer timeout;
+    Timer resubmit;
+  };
+
+  /// Final outcome of a request, artifact elided (it lives in the class
+  /// table) — the driver only dispatches on source/ok.
+  struct Outcome {
+    BackendOutcome::Source source = BackendOutcome::Source::kNone;
+    bool ok = false;
   };
 
   static std::vector<dse::AnalysisTask> make_tasks(std::uint64_t seed,
                                                    std::size_t topology);
-  void schedule_ota(Session& session, sim::Time first);
-  void issue_ota(Session& session);
-  void hit_with_wave(Session& session);
-  void issue_recovery(Session& session);
-  void on_recovery_outcome(Session& session, const BackendOutcome& outcome);
-  void mark_safe(Session& session, bool recovered);
+  void build_classes();
+  void reset_sessions();
+
+  // Timer facade over the two arms.
+  Timer timer_at(sim::Time at, sim::InlineFunction fn);
+  Timer timer_in(sim::Duration delay, sim::InlineFunction fn);
+  Timer timer_every(sim::Time first, sim::Duration period,
+                    sim::InlineFunction fn);
+  void cancel_timer(Timer& timer);
+
+  // Session helpers.
+  std::uint8_t home_region(std::uint32_t s) const {
+    return static_cast<std::uint8_t>(s % services_.size());
+  }
+  SessionState state_of(std::uint32_t s) const {
+    return static_cast<SessionState>(state_[s]);
+  }
+  BreakerState breaker_of(std::uint32_t s) const {
+    return static_cast<BreakerState>(breaker_[s] & kBreakerStateMask);
+  }
+  int failures_of(std::uint32_t s) const { return breaker_[s] >> 2; }
+  void set_breaker(std::uint32_t s, BreakerState state, int failures);
+  double jitter_draw(std::uint32_t s);
+
+  // Compact client engine (BackendClient semantics over SoA state).
+  void record_success(std::uint32_t s);
+  void record_failure(std::uint32_t s);
+  void revalidate_stale(std::uint32_t s);
+  std::uint64_t begin_request(std::uint32_t s, std::uint8_t kind);
+  Pending* lookup(std::uint64_t id);
+  void free_pending(std::uint64_t id);
+  void start_attempt(std::uint64_t id);
+  void on_response(std::uint64_t id, std::uint32_t token,
+                   const SynthesisResponse& response);
+  void on_timeout(std::uint64_t id);
+  void retry_or_fail(std::uint64_t id, sim::Duration floor_delay);
+  sim::Duration next_backoff(Pending& pending);
+  void finish_with_fallback(std::uint64_t id);
+  void finish(std::uint64_t id, const Outcome& outcome);
+
+  // Fleet behaviour.
+  void issue_ota(std::uint32_t s);
+  void hit_with_wave(std::uint32_t s);
+  void issue_recovery(std::uint32_t s);
+  void on_recovery_outcome(std::uint32_t s, const Outcome& outcome);
+  void mark_safe(std::uint32_t s, bool recovered);
+  void record_latency(sim::Duration latency);
 
   sim::Simulator& sim_;
-  FleetScheduleService& service_;
+  std::vector<FleetScheduleService*> services_;
   FleetConfig config_;
-  std::vector<Session> sessions_;
-  std::vector<sim::EventId> ota_timers_;
+  dse::AdmissionController admission_;
+
+  std::vector<TopologyClass> classes_;
+
+  // --- Per-session SoA state (hot_bytes_per_session() total) ---------------
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint8_t> breaker_;
+  std::vector<std::uint32_t> class_of_;
+  std::vector<std::uint32_t> jitter_draws_;
+  std::vector<sim::Time> open_until_;
+  std::vector<sim::Time> unsafe_since_;
+  std::vector<sim::Time> recovery_issued_;
+
+  std::unique_ptr<sim::TimerWheel> wheel_;
+  std::vector<Timer> ota_timers_;
+  /// Bumped per run(); timers capture it so a prior run's leftover kernel
+  /// events become no-ops instead of dangling into rebuilt state.
+  std::uint32_t epoch_ = 0;
+
+  std::vector<Pending> pending_;
+  std::uint32_t pending_free_ = 0xFFFFFFFFu;
 
   std::size_t unsafe_now_ = 0;
   std::size_t peak_unsafe_ = 0;
@@ -164,6 +324,26 @@ class FleetDriver {
   std::uint64_t fallback_cache_ = 0;
   std::uint64_t fallback_local_ = 0;
   std::uint64_t fallback_none_ = 0;
+
+  // Aggregated client-engine counters (the per-client counters of PR 9,
+  // fleet-wide).
+  std::uint64_t attempts_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_fast_fails_ = 0;
+  std::uint64_t stale_served_ = 0;
+  std::uint64_t local_admissions_ = 0;
+  std::uint64_t revalidated_ = 0;
+  std::uint64_t exhausted_ = 0;
+  std::uint64_t failovers_ = 0;
+
+  // Latency record: bounded log-scale histogram always; exact vector only
+  // when config_.record_latencies.
+  static constexpr std::size_t kLatencyBuckets = 256;
+  std::array<std::uint64_t, kLatencyBuckets> lat_hist_{};
+  std::uint64_t lat_count_ = 0;
+  std::uint64_t lat_sum_ = 0;
+  sim::Duration lat_max_ = 0;
   std::vector<sim::Duration> latencies_;
 };
 

@@ -18,6 +18,27 @@ std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
   return hash;
 }
 
+/// Secondary topology hash from an independent basis. A primary-key match
+/// whose signature disagrees is a detected collision: the cached artifact
+/// belongs to a different task set.
+std::uint64_t topology_sig(const std::vector<dse::AnalysisTask>& tasks,
+                           std::uint64_t ecu_mips) {
+  std::uint64_t hash = kFnvOffset ^ 0x5DEECE66Dull;
+  const std::uint64_t count = tasks.size();
+  hash = fnv1a(hash, &count, sizeof(count));
+  hash = fnv1a(hash, &ecu_mips, sizeof(ecu_mips));
+  for (const dse::AnalysisTask& task : tasks) {
+    hash = fnv1a(hash, &task.wcet, sizeof(task.wcet));
+    hash = fnv1a(hash, &task.period, sizeof(task.period));
+    hash = fnv1a(hash, task.name.data(), task.name.size());
+    hash = fnv1a(hash, &task.deadline, sizeof(task.deadline));
+    hash = fnv1a(hash, &task.priority, sizeof(task.priority));
+    const std::uint8_t det = task.deterministic ? 1 : 0;
+    hash = fnv1a(hash, &det, sizeof(det));
+  }
+  return hash;
+}
+
 }  // namespace
 
 const char* to_string(Criticality criticality) {
@@ -181,16 +202,32 @@ bool FleetScheduleService::admit(Criticality criticality,
   return true;
 }
 
+std::uint64_t FleetScheduleService::request_key(
+    const SynthesisRequest& request) const {
+  if (config_.key_fn != nullptr) {
+    return config_.key_fn(request.tasks, request.ecu_mips);
+  }
+  if (request.key_hint != 0) return request.key_hint;
+  return topology_key(request.tasks, request.ecu_mips);
+}
+
 dse::ScheduleServer::Artifact FleetScheduleService::resolve(
-    const SynthesisRequest& request, bool* cache_hit) {
-  const std::uint64_t key = topology_key(request.tasks, request.ecu_mips);
+    std::uint64_t key, const SynthesisRequest& request, bool* cache_hit) {
+  const std::uint64_t sig = topology_sig(request.tasks, request.ecu_mips);
   CacheShard& shard = cache_[key % cache_.size()];
   auto it = shard.entries.find(key);
+  bool collided = false;
   if (it != shard.entries.end()) {
-    *cache_hit = true;
-    ++cache_hits_;
-    if (cache_hit_counter_ != nullptr) cache_hit_counter_->add();
-    return it->second;
+    if (it->second.sig == sig) {
+      *cache_hit = true;
+      ++cache_hits_;
+      if (cache_hit_counter_ != nullptr) cache_hit_counter_->add();
+      return it->second.artifact;
+    }
+    // Same key, different task set: refuse the hit and recompute rather
+    // than hand a vehicle another topology's schedule table.
+    ++cache_collisions_;
+    collided = true;
   }
   *cache_hit = false;
   ++cache_misses_;
@@ -198,13 +235,20 @@ dse::ScheduleServer::Artifact FleetScheduleService::resolve(
   if (cache_miss_counter_ != nullptr) cache_miss_counter_->add();
   dse::ScheduleServer::Artifact artifact =
       server_.synthesize(request.tasks, request.ecu_mips);
+  if (collided) {
+    // Last-writer-wins on a contested key; the key stays at its original
+    // position in the eviction order.
+    it->second = CacheEntry{artifact, sig};
+    return artifact;
+  }
   const std::size_t per_shard =
       std::max<std::size_t>(config_.cache_capacity / cache_.size(), 1);
   while (shard.order.size() >= per_shard) {
     shard.entries.erase(shard.order.front());
     shard.order.pop_front();
+    ++cache_evictions_;
   }
-  shard.entries.emplace(key, artifact);
+  shard.entries.emplace(key, CacheEntry{artifact, sig});
   shard.order.push_back(key);
   return artifact;
 }
@@ -226,6 +270,26 @@ void FleetScheduleService::submit(SynthesisRequest request, Callback done) {
     ++lost_unreachable_;
     return;
   }
+  const std::uint64_t key = request_key(request);
+  if (config_.batching) {
+    auto open = open_cohorts_.find(key);
+    if (open != open_cohorts_.end()) {
+      auto leader = outstanding_.find(open->second);
+      if (leader != outstanding_.end() && leader->second.start > sim_.now()) {
+        // Same topology, cohort not yet in service: ride the leader's
+        // slot. No admission check, no worker dequeue — this is the
+        // entire stampede win.
+        leader->second.extra.push_back(std::move(done));
+        leader->second.criticality =
+            std::min(leader->second.criticality, request.criticality);
+        ++coalesced_;
+        return;
+      }
+      // Stale registration (cohort already started): close it to joiners.
+      if (leader != outstanding_.end()) leader->second.open = false;
+      open_cohorts_.erase(open);
+    }
+  }
   SynthesisResponse reject;
   if (!admit(request.criticality, &reject)) {
     // Shed / backpressure verdicts do reach the vehicle (the backend is
@@ -245,7 +309,7 @@ void FleetScheduleService::submit(SynthesisRequest request, Callback done) {
   }
 
   bool cache_hit = false;
-  dse::ScheduleServer::Artifact artifact = resolve(request, &cache_hit);
+  dse::ScheduleServer::Artifact artifact = resolve(key, request, &cache_hit);
   const sim::Duration svc = static_cast<sim::Duration>(
       static_cast<double>(service_time(artifact, cache_hit)) * slow_factor_);
 
@@ -259,17 +323,24 @@ void FleetScheduleService::submit(SynthesisRequest request, Callback done) {
   worker_free_[worker] = end;
   const std::uint64_t token = next_token_++;
   worker_last_token_[worker] = token;
+  ++dequeues_;
 
   const std::uint64_t id = next_id_++;
   Outstanding out;
   out.done = std::move(done);
   out.criticality = request.criticality;
+  out.key = key;
   out.worker = worker;
   out.start = start;
   out.end = end;
   out.last_on_worker_token = token;
   out.admitted = true;
   ++queued_;
+  if (config_.batching) {
+    ++batches_;
+    out.open = true;
+    open_cohorts_[key] = id;
+  }
 
   SynthesisResponse response;
   response.status = artifact.feasible ? ResponseStatus::kOk
@@ -280,33 +351,67 @@ void FleetScheduleService::submit(SynthesisRequest request, Callback done) {
   out.completion = sim_.schedule_at(
       deliver_at, [this, id, response = std::move(response)] {
         if (partitioned_) {
-          // The work completed but the response cannot reach the vehicle.
-          ++responses_dropped_;
+          // The work completed but the response cannot reach the
+          // vehicle(s); the whole cohort's downlink copies are lost.
           auto it = outstanding_.find(id);
           if (it != outstanding_.end()) {
-            if (it->second.admitted) --queued_;
-            outstanding_.erase(it);
-            update_depth_gauge();
+            responses_dropped_ += 1 + it->second.extra.size();
           }
+          close_entry(id);
           return;
         }
-        ++completed_;
-        respond(id, response);
+        completed_ += respond(id, response);
       });
   outstanding_.emplace(id, std::move(out));
   max_queue_depth_ = std::max(max_queue_depth_, queued_);
   update_depth_gauge();
 }
 
-void FleetScheduleService::respond(std::uint64_t id,
-                                   SynthesisResponse response) {
+std::size_t FleetScheduleService::respond(std::uint64_t id,
+                                          SynthesisResponse response) {
   auto it = outstanding_.find(id);
-  if (it == outstanding_.end()) return;
+  if (it == outstanding_.end()) return 0;
   Callback done = std::move(it->second.done);
+  std::vector<Callback> extra = std::move(it->second.extra);
+  if (it->second.admitted) record_batch(1 + extra.size());
+  if (it->second.open) {
+    auto open = open_cohorts_.find(it->second.key);
+    if (open != open_cohorts_.end() && open->second == id) {
+      open_cohorts_.erase(open);
+    }
+  }
   if (it->second.admitted) --queued_;
   outstanding_.erase(it);
   update_depth_gauge();
+  // Fan-out: the leader hears first, joiners in arrival order.
   if (done) done(response);
+  for (Callback& member : extra) {
+    if (member) member(response);
+  }
+  return 1 + extra.size();
+}
+
+void FleetScheduleService::close_entry(std::uint64_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  if (it->second.open) {
+    auto open = open_cohorts_.find(it->second.key);
+    if (open != open_cohorts_.end() && open->second == id) {
+      open_cohorts_.erase(open);
+    }
+  }
+  if (it->second.admitted) --queued_;
+  outstanding_.erase(it);
+  update_depth_gauge();
+}
+
+void FleetScheduleService::record_batch(std::size_t size) {
+  std::size_t bucket = 0;
+  while (bucket + 1 < batch_hist_.size() &&
+         (static_cast<std::size_t>(1) << bucket) < size) {
+    ++bucket;
+  }
+  ++batch_hist_[bucket];
 }
 
 SynthesisResponse FleetScheduleService::query(
@@ -320,7 +425,8 @@ SynthesisResponse FleetScheduleService::query(
   }
   if (!admit(request.criticality, &response)) return response;
   bool cache_hit = false;
-  dse::ScheduleServer::Artifact artifact = resolve(request, &cache_hit);
+  dse::ScheduleServer::Artifact artifact =
+      resolve(request_key(request), request, &cache_hit);
   ++completed_;
   response.status = artifact.feasible ? ResponseStatus::kOk
                                       : ResponseStatus::kInfeasible;
@@ -334,10 +440,14 @@ void FleetScheduleService::crash() {
   crashed_ = true;
   ++crashes_;
   if (coverage_ != nullptr) coverage_->hit(cov_crash_);
-  // Outstanding work dies with the process; clients time out.
-  for (auto& [id, out] : outstanding_) sim_.cancel(out.completion);
-  lost_unreachable_ += outstanding_.size();
+  // Outstanding work dies with the process; clients time out. Every
+  // coalesced cohort member was a caller in its own right.
+  for (auto& [id, out] : outstanding_) {
+    sim_.cancel(out.completion);
+    lost_unreachable_ += 1 + out.extra.size();
+  }
   outstanding_.clear();
+  open_cohorts_.clear();
   queued_ = 0;
   update_depth_gauge();
   worker_free_.assign(config_.workers, 0);
@@ -377,9 +487,13 @@ std::uint64_t FleetScheduleService::fingerprint() const {
       backpressured_,     preempted_,     lost_unreachable_,
       responses_dropped_, cache_hits_,    cache_misses_,
       synthesis_runs_,    crashes_,       max_queue_depth_,
-      outstanding_.size()};
+      outstanding_.size(), dequeues_,     batches_,
+      coalesced_,         cache_collisions_, cache_evictions_};
   for (const std::uint64_t field : fields) {
     hash = fnv1a(hash, &field, sizeof(field));
+  }
+  for (const std::uint64_t bucket : batch_hist_) {
+    hash = fnv1a(hash, &bucket, sizeof(bucket));
   }
   return hash;
 }

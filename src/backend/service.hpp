@@ -32,6 +32,7 @@
 // sim::ScenarioSweep at any thread count.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -73,6 +74,11 @@ struct SynthesisRequest {
   /// Vehicle session tag (metrics / tracing only, not part of the cache
   /// key — the whole point is cross-vehicle sharing).
   std::uint32_t session = 0;
+  /// Precomputed topology_key(tasks, ecu_mips), 0 = compute on arrival. A
+  /// fleet driver that already knows its topology-class key passes it so a
+  /// million-session stampede doesn't re-hash the same task set per
+  /// request. Ignored when ServiceConfig::key_fn is set.
+  std::uint64_t key_hint = 0;
 };
 
 struct SynthesisResponse {
@@ -114,6 +120,18 @@ struct ServiceConfig {
   /// A backend crash also loses the memo cache (cold restart). Default
   /// keeps it: the cache models a persistent artifact store.
   bool crash_clears_cache = false;
+  /// Coalesce same-topology requests into cohorts: a request whose
+  /// topology key matches a cohort still waiting for service joins it —
+  /// no extra admission weight, no extra worker dequeue — and every
+  /// member shares the one response at delivery. Admission, queue depth
+  /// and shedding are then accounted per cohort, not per request (a
+  /// stampede of identical vehicles costs one queue slot).
+  bool batching = false;
+  /// Test seam: overrides the cache/batch key derivation so collision
+  /// tests can force distinct topologies onto one key. Null uses
+  /// topology_key().
+  std::uint64_t (*key_fn)(const std::vector<dse::AnalysisTask>&,
+                          std::uint64_t) = nullptr;
 };
 
 /// Stable hash of (task set, ECU speed): the cross-vehicle cache key. Two
@@ -195,6 +213,26 @@ class FleetScheduleService {
   std::size_t cache_entries() const;
   std::uint64_t synthesis_runs() const { return synthesis_runs_; }
   std::uint64_t crashes() const { return crashes_; }
+  /// Worker dequeues: service starts charged against the worker pool. In
+  /// serial mode every admitted request is its own dequeue; with batching
+  /// a whole cohort rides one. The batched-vs-serial efficiency gate in
+  /// bench_fleet compares exactly this counter at equal served counts.
+  std::uint64_t dequeues() const { return dequeues_; }
+  /// Cohorts admitted in batched mode (== dequeues while batching).
+  std::uint64_t batches() const { return batches_; }
+  /// Requests that joined an existing cohort instead of taking a slot.
+  std::uint64_t coalesced() const { return coalesced_; }
+  /// Cohort sizes at close, log2-bucketed: bucket b counts cohorts of
+  /// size in (2^(b-1), 2^b] (bucket 0 = singletons).
+  const std::array<std::uint64_t, 16>& batch_size_histogram() const {
+    return batch_hist_;
+  }
+  /// topology_key collisions caught by the secondary signature check: the
+  /// cached artifact belonged to a *different* task set that hashed to the
+  /// same key, so the hit was refused and synthesis re-ran.
+  std::uint64_t cache_collisions() const { return cache_collisions_; }
+  /// Memo-cache entries dropped by per-shard capacity (drop-oldest).
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
 
   /// FNV-1a over the service counters — folded into fleet fingerprints for
   /// the sweep determinism gates.
@@ -205,7 +243,13 @@ class FleetScheduleService {
  private:
   struct Outstanding {
     Callback done;
+    /// Cohort members coalesced onto this entry after the leader; they
+    /// share the leader's slot, reservation and response.
+    std::vector<Callback> extra;
+    /// Most critical member of the cohort (joiners upgrade it, so a
+    /// cohort carrying a recovery request is never a preemption victim).
     Criticality criticality = Criticality::kOta;
+    std::uint64_t key = 0;
     std::size_t worker = 0;
     sim::Time start = 0;  ///< service start (preemptible while > now)
     sim::Time end = 0;
@@ -214,9 +258,18 @@ class FleetScheduleService {
     /// true: holds a queue slot + worker reservation; false: a shed /
     /// backpressure verdict riding the downlink (no admission weight).
     bool admitted = false;
+    /// true while registered in open_cohorts_ (batched, joinable).
+    bool open = false;
+  };
+  struct CacheEntry {
+    dse::ScheduleServer::Artifact artifact;
+    /// Secondary hash of the same topology fields from an independent
+    /// basis; a key match with a signature mismatch is a detected
+    /// collision, served as a miss instead of a wrong artifact.
+    std::uint64_t sig = 0;
   };
   struct CacheShard {
-    std::map<std::uint64_t, dse::ScheduleServer::Artifact> entries;
+    std::map<std::uint64_t, CacheEntry> entries;
     std::deque<std::uint64_t> order;  ///< insertion order, drop-oldest
   };
 
@@ -227,14 +280,22 @@ class FleetScheduleService {
   /// that is still last on its worker (its reservation can be reclaimed
   /// exactly). Returns true when a slot was freed.
   bool preempt_routine();
+  /// Cache/batch key for a request (key_fn seam or topology_key).
+  std::uint64_t request_key(const SynthesisRequest& request) const;
   /// Cache lookup + synthesis on miss. Returns the artifact and whether it
-  /// was a hit; accounts cache metrics.
-  dse::ScheduleServer::Artifact resolve(const SynthesisRequest& request,
+  /// was a hit; accounts cache metrics and collision/eviction counters.
+  dse::ScheduleServer::Artifact resolve(std::uint64_t key,
+                                        const SynthesisRequest& request,
                                         bool* cache_hit);
   sim::Duration service_time(const dse::ScheduleServer::Artifact& artifact,
                              bool cache_hit) const;
   sim::Duration retry_hint() const;
-  void respond(std::uint64_t id, SynthesisResponse response);
+  /// Delivers `response` to every cohort member and closes the entry.
+  /// Returns the member count (0 when the id is stale).
+  std::size_t respond(std::uint64_t id, SynthesisResponse response);
+  /// Drops a closing entry without delivering (partition, crash paths).
+  void close_entry(std::uint64_t id);
+  void record_batch(std::size_t size);
   void update_depth_gauge();
 
   sim::Simulator& sim_;
@@ -248,7 +309,11 @@ class FleetScheduleService {
   std::vector<std::uint64_t> worker_last_token_;
   std::uint64_t next_token_ = 1;
   std::map<std::uint64_t, Outstanding> outstanding_;
-  /// Admitted entries in outstanding_ (the admission-control depth).
+  /// Joinable cohort per topology key (batched mode): key -> outstanding
+  /// id of the cohort leader entry.
+  std::map<std::uint64_t, std::uint64_t> open_cohorts_;
+  /// Admitted entries in outstanding_ (the admission-control depth; a
+  /// whole cohort weighs one).
   std::size_t queued_ = 0;
   std::uint64_t next_id_ = 1;
 
@@ -269,6 +334,12 @@ class FleetScheduleService {
   std::uint64_t cache_misses_ = 0;
   std::uint64_t synthesis_runs_ = 0;
   std::uint64_t crashes_ = 0;
+  std::uint64_t dequeues_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t cache_collisions_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::array<std::uint64_t, 16> batch_hist_{};
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Gauge* depth_gauge_ = nullptr;

@@ -1,0 +1,231 @@
+#include "sim/timer_wheel.hpp"
+
+#include <utility>
+
+namespace dynaplat::sim {
+
+namespace {
+/// Smallest multiple of `w` strictly greater than `t`.
+Time ceil_boundary(Time t, Duration w) { return (t / w + 1) * w; }
+}  // namespace
+
+TimerWheel::TimerWheel(Simulator& sim, Config config)
+    : sim_(sim), config_(config) {
+  if (config_.slots < 2) config_.slots = 2;
+  if (config_.levels < 1) config_.levels = 1;
+  if (config_.levels > 4) config_.levels = 4;
+  if (config_.granularity < 1) config_.granularity = 1;
+  far_.resize(config_.levels - 1);
+  for (auto& level : far_) level.assign(config_.slots, List{});
+  // One cascade recurrence per far level, firing on that level's slot
+  // boundaries. Scheduled at construction so its kernel sequence number
+  // precedes any timer payloads: at a boundary instant the cascade runs
+  // before the instant events it creates for that window.
+  for (std::size_t k = 1; k < config_.levels; ++k) {
+    const Duration w = width(k);
+    cascade_events_.push_back(sim_.schedule_every(
+        ceil_boundary(sim_.now(), w), w, [this, k] { cascade(k); }));
+  }
+}
+
+TimerWheel::~TimerWheel() {
+  for (EventId id : cascade_events_) sim_.cancel(id);
+  for (auto& [due, group] : near_) sim_.cancel(group.event);
+}
+
+Duration TimerWheel::width(std::size_t level) const {
+  Duration w = config_.granularity;
+  for (std::size_t k = 0; k < level; ++k) {
+    w *= static_cast<Duration>(config_.slots);
+  }
+  return w;
+}
+
+std::uint32_t TimerWheel::alloc_entry() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = entries_[idx].next;
+    entries_[idx].next = kNpos;
+    return idx;
+  }
+  entries_.emplace_back();
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void TimerWheel::free_entry(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.fn.reset();
+  e.cancelled = false;
+  ++e.gen;
+  if (e.gen == 0) e.gen = 1;
+  e.next = free_head_;
+  free_head_ = idx;
+}
+
+TimerWheel::TimerId TimerWheel::schedule_at(Time at, InlineFunction fn) {
+  return arm(at, 0, std::move(fn));
+}
+
+TimerWheel::TimerId TimerWheel::schedule_in(Duration delay, InlineFunction fn) {
+  if (delay < 0) delay = 0;
+  return arm(sim_.now() + delay, 0, std::move(fn));
+}
+
+TimerWheel::TimerId TimerWheel::schedule_every(Time first, Duration period,
+                                               InlineFunction fn) {
+  return arm(first, period, std::move(fn));
+}
+
+TimerWheel::TimerId TimerWheel::arm(Time due, Duration period,
+                                    InlineFunction fn) {
+  const std::uint32_t idx = alloc_entry();
+  Entry& e = entries_[idx];
+  e.due = due;
+  e.seq = next_seq_++;
+  e.period = period;
+  e.fn = std::move(fn);
+  ++live_;
+  place(idx);
+  return TimerId{(static_cast<std::uint64_t>(idx) + 1) << 32 |
+                 entries_[idx].gen};
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  if (!id.valid()) return false;
+  const std::uint64_t slot = (id.value >> 32) - 1;
+  if (slot >= entries_.size()) return false;
+  Entry& e = entries_[slot];
+  if (e.gen != static_cast<std::uint32_t>(id.value) || e.cancelled) {
+    return false;
+  }
+  // O(1): tombstone now, unlink whenever the slot or instant is next
+  // visited. Drop the callback eagerly so a cancelled timer pins nothing.
+  e.cancelled = true;
+  e.fn.reset();
+  --live_;
+  return true;
+}
+
+void TimerWheel::place(std::uint32_t idx) {
+  const Time now = sim_.now();
+  Entry& e = entries_[idx];
+  if (e.due < now) e.due = now;
+  if (config_.levels == 1) {
+    add_near(idx);
+    return;
+  }
+  if (e.due < ceil_boundary(now, width(1))) {
+    add_near(idx);
+    return;
+  }
+  std::size_t level = config_.levels - 1;
+  for (std::size_t k = 1; k + 1 < config_.levels; ++k) {
+    if (e.due < ceil_boundary(now, width(k + 1))) {
+      level = k;
+      break;
+    }
+  }
+  List& list = far_[level - 1][static_cast<std::size_t>(
+      (e.due / width(level)) % static_cast<Duration>(config_.slots))];
+  e.next = kNpos;
+  if (list.head == kNpos) {
+    list.head = idx;
+  } else {
+    entries_[list.tail].next = idx;
+  }
+  list.tail = idx;
+}
+
+void TimerWheel::add_near(std::uint32_t idx) {
+  const Time due = entries_[idx].due;
+  auto [it, inserted] = near_.try_emplace(due);
+  Group& group = it->second;
+  if (inserted) {
+    group.event = sim_.schedule_at(due, [this, due] { fire_instant(due); });
+    ++instant_events_;
+  }
+  entries_[idx].next = kNpos;
+  if (group.list.head == kNpos) {
+    group.list.head = idx;
+  } else {
+    entries_[group.list.tail].next = idx;
+  }
+  group.list.tail = idx;
+}
+
+void TimerWheel::fire_instant(Time due) {
+  auto it = near_.find(due);
+  if (it == near_.end()) return;
+  // Detach first: callbacks may arm new timers for this same (== now)
+  // instant, which then get a fresh group + kernel event later this step.
+  List list = it->second.list;
+  near_.erase(it);
+  std::uint64_t batch = 0;
+  std::uint32_t idx = list.head;
+  while (idx != kNpos) {
+    const std::uint32_t next = entries_[idx].next;
+    if (entries_[idx].cancelled) {
+      free_entry(idx);
+      idx = next;
+      continue;
+    }
+    if (entries_[idx].period > 0) {
+      // Re-arm before invoking, mirroring the kernel's recurrence
+      // semantics (the callback may cancel its own recurrence).
+      entries_[idx].due += entries_[idx].period;
+      entries_[idx].seq = next_seq_++;
+      place(idx);
+      // Invoke outside the slab: the callback may arm timers and grow
+      // entries_, so the resident function is moved to the stack first.
+      InlineFunction fn = std::move(entries_[idx].fn);
+      ++fired_;
+      ++batch;
+      fn();
+      Entry& e = entries_[idx];
+      if (!e.cancelled) e.fn = std::move(fn);
+    } else {
+      InlineFunction fn = std::move(entries_[idx].fn);
+      --live_;
+      free_entry(idx);
+      ++fired_;
+      ++batch;
+      fn();
+    }
+    idx = next;
+  }
+  if (batch > max_coalesced_) max_coalesced_ = batch;
+}
+
+void TimerWheel::cascade(std::size_t level) {
+  const Time now = sim_.now();
+  const Duration w = width(level);
+  List& slot = far_[level - 1][static_cast<std::size_t>(
+      (now / w) % static_cast<Duration>(config_.slots))];
+  List pending = slot;
+  slot = List{};
+  const Time window_end = now + w;
+  std::uint32_t idx = pending.head;
+  while (idx != kNpos) {
+    const std::uint32_t next = entries_[idx].next;
+    if (entries_[idx].cancelled) {
+      free_entry(idx);
+    } else if (entries_[idx].due < window_end) {
+      ++cascaded_;
+      place(idx);  // lands near or at a lower far level
+    } else {
+      // Wrapped: due a full revolution (or more) later; re-append in order.
+      List& back = far_[level - 1][static_cast<std::size_t>(
+          (entries_[idx].due / w) % static_cast<Duration>(config_.slots))];
+      entries_[idx].next = kNpos;
+      if (back.head == kNpos) {
+        back.head = idx;
+      } else {
+        entries_[back.tail].next = idx;
+      }
+      back.tail = idx;
+    }
+    idx = next;
+  }
+}
+
+}  // namespace dynaplat::sim

@@ -1,0 +1,147 @@
+// Hierarchical calendar/timing wheel layered over the event kernel.
+//
+// The Simulator's binary heap is the right structure for a few thousand
+// irregular events, but a fleet driver arming one cadence tick and one retry
+// timer per session puts *millions* of timers in flight: every insert and
+// cancel pays O(log n) on a heap whose hot set is much smaller than n, and
+// co-scheduled ticks (thousands of sessions sharing a phase instant) each
+// occupy their own heap node. TimerWheel fixes both costs:
+//
+//  - Timers due soon live in a "near" calendar keyed by exact due instant.
+//    All timers sharing an instant share ONE kernel event; firing that event
+//    runs the whole batch, so a cadence tick is O(timers-due), not
+//    O(log total-timers) each.
+//  - Timers due far out sit in hierarchical coarse slots (levels of
+//    granularity g·S^k) that cost O(1) to insert and are only touched again
+//    when their window cascades down — never per-tick.
+//  - cancel() is O(1): a generation-checked tombstone; the entry is reclaimed
+//    when its slot or instant is next visited. The captured callback is
+//    destroyed eagerly so cancelled timers hold no resources.
+//
+// Determinism contract: timers fire at their exact due instant (never
+// quantized to a slot boundary), and timers sharing an instant fire in
+// wheel-insertion order (monotonic sequence, re-assigned when a periodic
+// re-arms — mirroring the kernel's re-arm-before-invoke semantics). The
+// relative order of a wheel batch and a *foreign* kernel event at the very
+// same nanosecond may differ from scheduling each timer on the heap
+// directly, because the batch occupies a single kernel slot; callers who
+// need heap-exact interleaving must avoid exact-tie instants across the two
+// populations (see DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dynaplat::sim {
+
+class TimerWheel {
+ public:
+  struct Config {
+    /// Width of a level-1 slot is granularity * slots; the near calendar
+    /// covers at most one level-1 slot of exact instants.
+    Duration granularity = kMillisecond;
+    /// Slots per hierarchical level.
+    std::size_t slots = 256;
+    /// Total levels including the near calendar (>= 1, <= 4). Level k >= 1
+    /// holds timers due within granularity * slots^(k+1).
+    std::size_t levels = 3;
+  };
+
+  /// Generation-checked handle; safe to cancel() after the timer fired.
+  struct TimerId {
+    std::uint64_t value = 0;
+    bool valid() const { return value != 0; }
+  };
+
+  explicit TimerWheel(Simulator& sim) : TimerWheel(sim, Config()) {}
+  TimerWheel(Simulator& sim, Config config);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms `fn` at absolute instant `at` (clamped to now()).
+  TimerId schedule_at(Time at, InlineFunction fn);
+
+  /// Arms `fn` `delay` nanoseconds from now (clamped to >= 0).
+  TimerId schedule_in(Duration delay, InlineFunction fn);
+
+  /// Arms `fn` every `period` (> 0) starting at `first`. The returned id
+  /// stays valid across firings, like Simulator::schedule_every.
+  TimerId schedule_every(Time first, Duration period, InlineFunction fn);
+
+  /// Cancels a pending timer or recurrence in O(1). Stale ids no-op.
+  bool cancel(TimerId id);
+
+  /// Timers currently armed (cancelled-but-unreclaimed entries excluded).
+  std::size_t pending() const { return live_; }
+
+  /// Callbacks actually invoked.
+  std::uint64_t fired() const { return fired_; }
+  /// Kernel events created for near instants (the coalescing denominator:
+  /// fired() / instant_events() is the mean batch size).
+  std::uint64_t instant_events() const { return instant_events_; }
+  /// Entries moved down a level by a cascade.
+  std::uint64_t cascaded() const { return cascaded_; }
+  /// Largest number of timers run by a single instant event.
+  std::uint64_t max_coalesced() const { return max_coalesced_; }
+
+ private:
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+  struct Entry {
+    Time due = 0;
+    std::uint64_t seq = 0;  // wheel insertion order; re-assigned on re-arm
+    Duration period = 0;    // 0 => one-shot
+    std::uint32_t gen = 1;
+    std::uint32_t next = kNpos;  // intrusive list link (slot or instant)
+    bool cancelled = false;
+    InlineFunction fn;
+  };
+
+  struct List {
+    std::uint32_t head = kNpos;
+    std::uint32_t tail = kNpos;
+  };
+
+  /// All timers sharing one exact due instant, plus their kernel event.
+  struct Group {
+    List list;
+    EventId event;
+  };
+
+  Duration width(std::size_t level) const;  // slot width of far level k >= 1
+  std::uint32_t alloc_entry();
+  void free_entry(std::uint32_t idx);
+  TimerId arm(Time due, Duration period, InlineFunction fn);
+  void place(std::uint32_t idx);
+  void add_near(std::uint32_t idx);
+  void fire_instant(Time due);
+  void cascade(std::size_t level);
+
+  Simulator& sim_;
+  Config config_;
+
+  std::vector<Entry> entries_;
+  std::uint32_t free_head_ = kNpos;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+
+  /// Exact-instant calendar for the near window.
+  std::map<Time, Group> near_;
+  /// far_[k - 1][slot] for far level k: timers due (due / width(k)) % slots.
+  std::vector<std::vector<List>> far_;
+  std::vector<EventId> cascade_events_;
+
+  std::uint64_t fired_ = 0;
+  std::uint64_t instant_events_ = 0;
+  std::uint64_t cascaded_ = 0;
+  std::uint64_t max_coalesced_ = 0;
+};
+
+}  // namespace dynaplat::sim

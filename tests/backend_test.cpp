@@ -692,6 +692,9 @@ TEST(FleetBackend, FullOutageLeavesNoVehicleStrandedUnsafe) {
   EXPECT_EQ(driver.fallback_none(), 0u);
   EXPECT_GT(driver.client_breaker_opens(), 0u);
   EXPECT_GT(driver.recoveries_completed(), 0u);
+  // Vehicles that served stale artifacts re-validated them when their
+  // breaker closed after the heal.
+  EXPECT_GT(driver.revalidated(), 0u);
 
   fault::InvariantChecker checker;
   checker.require_backend_drained(service);
@@ -774,6 +777,282 @@ TEST(FleetBackend, CampaignDrivesBackendFailureModes) {
   simulator.run_until(100 * sim::kMillisecond);
   EXPECT_DOUBLE_EQ(service.slow_factor(), 4.0);
   EXPECT_EQ(campaign.injected().size(), 5u);
+}
+
+// --- Request batching / coalescing (ISSUE 10) ---------------------------------
+
+TEST(FleetBatching, CohortSharesOneDequeueAndResponse) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.batching = true;
+  FleetScheduleService service(simulator, config);
+  SynthesisRequest request;
+  request.criticality = Criticality::kResync;
+  request.tasks = feasible_set();
+  int ok = 0;
+  for (std::uint32_t session = 0; session < 8; ++session) {
+    request.session = session;
+    service.submit(request, [&](const SynthesisResponse& response) {
+      if (response.status == ResponseStatus::kOk) ++ok;
+    });
+  }
+  simulator.run_until(sim::seconds(2));
+  // One worker dequeue answered the whole stampede cohort.
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(service.dequeues(), 1u);
+  EXPECT_EQ(service.batches(), 1u);
+  EXPECT_EQ(service.coalesced(), 7u);
+  EXPECT_EQ(service.completed(), 8u);
+  EXPECT_EQ(service.synthesis_runs(), 1u);
+  // Cohort of 8 lands in log2 bucket 3: (4, 8].
+  EXPECT_EQ(service.batch_size_histogram()[3], 1u);
+}
+
+TEST(FleetBatching, AdmissionChargesCohortsNotMembers) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.batching = true;
+  config.queue_capacity = 1;
+  config.backpressure_watermark = 1;
+  config.recovery_reserve = 0;
+  config.workers = 1;
+  FleetScheduleService service(simulator, config);
+  SynthesisRequest request;
+  request.criticality = Criticality::kResync;
+  request.tasks = feasible_set();
+  int ok = 0;
+  // Six identical requests ride one queue slot...
+  for (std::uint32_t session = 0; session < 6; ++session) {
+    request.session = session;
+    service.submit(request, [&](const SynthesisResponse& response) {
+      if (response.status == ResponseStatus::kOk) ++ok;
+    });
+  }
+  EXPECT_EQ(service.queue_depth(), 1u);
+  // ...while a distinct topology needs a second slot and is shed.
+  SynthesisRequest other;
+  other.criticality = Criticality::kResync;
+  other.tasks = infeasible_set();
+  ResponseStatus other_status = ResponseStatus::kOk;
+  service.submit(other, [&](const SynthesisResponse& response) {
+    other_status = response.status;
+  });
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(ok, 6);
+  EXPECT_EQ(service.coalesced(), 5u);
+  EXPECT_EQ(other_status, ResponseStatus::kShed);
+  EXPECT_EQ(service.shed_total(), 1u);
+}
+
+TEST(FleetBatching, RecoveryJoinerShieldsCohortFromPreemption) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.batching = true;
+  config.queue_capacity = 1;
+  config.backpressure_watermark = 1;
+  config.recovery_reserve = 0;
+  config.workers = 1;
+  FleetScheduleService service(simulator, config);
+  // A routine leader whose cohort picks up a recovery joiner: the cohort's
+  // criticality is the minimum (most critical) of its members, so the
+  // preemption scan must no longer see it as a routine victim.
+  SynthesisRequest leader;
+  leader.criticality = Criticality::kOta;
+  leader.tasks = feasible_set();
+  int cohort_ok = 0;
+  service.submit(leader, [&](const SynthesisResponse& response) {
+    if (response.status == ResponseStatus::kOk) ++cohort_ok;
+  });
+  SynthesisRequest joiner;
+  joiner.criticality = Criticality::kRecovery;
+  joiner.tasks = feasible_set();
+  service.submit(joiner, [&](const SynthesisResponse& response) {
+    if (response.status == ResponseStatus::kOk) ++cohort_ok;
+  });
+  SynthesisRequest rival;
+  rival.criticality = Criticality::kRecovery;
+  rival.tasks = infeasible_set();
+  ResponseStatus rival_status = ResponseStatus::kOk;
+  service.submit(rival, [&](const SynthesisResponse& response) {
+    rival_status = response.status;
+  });
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(cohort_ok, 2);
+  EXPECT_EQ(service.preempted(), 0u);
+  // The rival recovery found a full queue and no routine victim.
+  EXPECT_EQ(rival_status, ResponseStatus::kShed);
+}
+
+TEST(FleetBatching, CrashLosesEveryCohortMember) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.batching = true;
+  FleetScheduleService service(simulator, config);
+  SynthesisRequest request;
+  request.criticality = Criticality::kResync;
+  request.tasks = feasible_set();
+  int delivered = 0;
+  for (std::uint32_t session = 0; session < 4; ++session) {
+    request.session = session;
+    service.submit(request,
+                   [&](const SynthesisResponse&) { ++delivered; });
+  }
+  // Crash before service starts (start = submit + rtt/2 = 5 ms).
+  simulator.schedule_at(sim::kMillisecond, [&] { service.crash(); });
+  simulator.run_until(sim::seconds(2));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(service.lost_unreachable(), 4u);
+}
+
+// --- Memo-cache collision + eviction (ISSUE 10 satellites) --------------------
+
+TEST(FleetCache, ForcedKeyCollisionResynthesizesInsteadOfWrongArtifact) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  // Force every topology onto one key: only the secondary signature can
+  // tell the cached artifact belongs to a different task set.
+  config.key_fn = [](const std::vector<dse::AnalysisTask>&, std::uint64_t) {
+    return std::uint64_t{42};
+  };
+  FleetScheduleService service(simulator, config);
+  SynthesisRequest first;
+  first.tasks = feasible_set();
+  SynthesisRequest second;
+  second.tasks = infeasible_set();
+
+  EXPECT_EQ(service.query(first).status, ResponseStatus::kOk);
+  EXPECT_EQ(service.cache_collisions(), 0u);
+  // Same key, different topology: refused as a hit, re-synthesized, and
+  // the verdict matches the actual task set (infeasible, not the cached
+  // feasible artifact).
+  EXPECT_EQ(service.query(second).status, ResponseStatus::kInfeasible);
+  EXPECT_EQ(service.cache_collisions(), 1u);
+  EXPECT_EQ(service.synthesis_runs(), 2u);
+  // The overwrite is last-writer-wins in place: flipping back collides
+  // again rather than serving the other topology's artifact.
+  EXPECT_EQ(service.query(first).status, ResponseStatus::kOk);
+  EXPECT_EQ(service.cache_collisions(), 2u);
+  EXPECT_EQ(service.synthesis_runs(), 3u);
+  EXPECT_EQ(service.cache_entries(), 1u);
+}
+
+TEST(FleetCache, EvictionUnderTopologyChurn) {
+  sim::Simulator simulator;
+  ServiceConfig config;
+  config.cache_shards = 1;
+  config.cache_capacity = 2;
+  FleetScheduleService service(simulator, config);
+  const auto churn_set = [](int salt) {
+    return std::vector<dse::AnalysisTask>{
+        analysis_task("churn" + std::to_string(salt), 10 * sim::kMillisecond,
+                      (500 + 100 * salt) * sim::kMicrosecond, 1)};
+  };
+  SynthesisRequest request;
+  for (int salt = 0; salt < 4; ++salt) {
+    request.tasks = churn_set(salt);
+    EXPECT_EQ(service.query(request).status, ResponseStatus::kOk);
+  }
+  // Capacity 2, four distinct topologies: two drop-oldest evictions.
+  EXPECT_EQ(service.cache_evictions(), 2u);
+  EXPECT_EQ(service.cache_entries(), 2u);
+  EXPECT_EQ(service.synthesis_runs(), 4u);
+  // The evicted topology is a miss again.
+  request.tasks = churn_set(0);
+  EXPECT_EQ(service.query(request).status, ResponseStatus::kOk);
+  EXPECT_EQ(service.synthesis_runs(), 5u);
+}
+
+// --- Compressed fleet driver (ISSUE 10) ---------------------------------------
+
+TEST(FleetDriverScale, WheelDriverMatchesHeapDriverBitExact) {
+  const auto run_arm = [](bool wheel) {
+    sim::Simulator simulator;
+    FleetScheduleService service(simulator);
+    FleetConfig config = small_fleet(21);
+    config.sessions = 48;
+    config.horizon = 6 * sim::kSecond;
+    config.wave_at = 1'500 * sim::kMillisecond;
+    config.outage_at = 1'400 * sim::kMillisecond;
+    config.outage_duration = 1 * sim::kSecond;
+    config.use_timer_wheel = wheel;
+    FleetDriver driver(simulator, service, config);
+    driver.run();
+    return driver.fingerprint();
+  };
+  // The wheel is an implementation detail: same fleet, same fingerprint.
+  EXPECT_EQ(run_arm(true), run_arm(false));
+}
+
+TEST(FleetDriverScale, RerunRebuildsSessionsWithoutDanglingTimers) {
+  // Regression: the driver once captured raw Session pointers in wave and
+  // retry lambdas; a second run() rebuilt the session vector and left the
+  // old timers dangling. Index + epoch captures make re-running safe (ASan
+  // guards the old failure mode).
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  FleetConfig config = small_fleet(31);
+  config.sessions = 48;
+  config.horizon = 5 * sim::kSecond;
+  FleetDriver driver(simulator, service, config);
+  driver.run();
+  const std::uint64_t first_recoveries = driver.recoveries_completed();
+  EXPECT_GT(first_recoveries, 0u);
+  EXPECT_EQ(driver.unsafe_now(), 0u);
+  driver.run();
+  // The second run replays the same scenario shape later in sim time.
+  EXPECT_GT(driver.recoveries_completed(), first_recoveries);
+  EXPECT_EQ(driver.unsafe_now(), 0u);
+  EXPECT_EQ(driver.recoveries_outstanding(), 0u);
+}
+
+TEST(FleetDriverScale, TwoRegionFailoverSurvivesRegionOutage) {
+  sim::Simulator simulator;
+  FleetScheduleService region0(simulator);
+  FleetScheduleService region1(simulator);
+  region0.set_name("region0");
+  region1.set_name("region1");
+  FleetConfig config = small_fleet(41);
+  config.sessions = 60;
+  // Region 0 dies across the wave; its sessions' breakers open and the
+  // engine fails attempts over to region 1.
+  config.outage_at = 900 * sim::kMillisecond;
+  config.outage_duration = 2 * sim::kSecond;
+  FleetDriver driver(simulator, {&region0, &region1}, config);
+  driver.run();
+
+  EXPECT_EQ(driver.regions(), 2u);
+  EXPECT_GT(driver.failovers(), 0u);
+  // The sibling's memo cache was cold for region-0 topologies: it had to
+  // synthesize, not just serve hits.
+  EXPECT_GT(region1.synthesis_runs(), 0u);
+  // Failover recovers vehicles with *fresh* artifacts even mid-outage: no
+  // vehicle was stranded and nothing fell through the ladder.
+  EXPECT_EQ(driver.fallback_none(), 0u);
+  EXPECT_GT(driver.recoveries_completed(), 0u);
+  fault::InvariantChecker checker;
+  checker.require_no_stranded_vehicles(driver, 2 * sim::kSecond);
+  checker.require_fleet_recovery_bounded(driver, 4 * sim::kSecond);
+  const auto report = checker.run();
+  EXPECT_TRUE(report.passed) << report.summary();
+}
+
+TEST(FleetDriverScale, TopologyDriftFragmentsKeySpace) {
+  sim::Simulator simulator;
+  FleetScheduleService service(simulator);
+  FleetConfig config = small_fleet(51);
+  config.sessions = 40;
+  config.topology_classes = 4;
+  config.topology_drift_fraction = 0.5;
+  config.wave_fraction = 0.0;  // routine load only
+  config.horizon = 4 * sim::kSecond;
+  FleetDriver driver(simulator, service, config);
+  driver.run();
+  // Drifted vehicles became singleton classes beyond the 4 base classes,
+  // and each distinct key cost its own synthesis.
+  EXPECT_GT(driver.topology_class_count(), 4u);
+  EXPECT_LE(driver.topology_class_count(), 44u);
+  EXPECT_GT(service.synthesis_runs(), 4u);
+  EXPECT_EQ(driver.unsafe_now(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// Hierarchical timing wheel: exact-instant firing, insertion-order ties,
+// cascade correctness, O(1) cancel semantics, and bit-identical fire
+// sequences against the kernel heap on a randomized workload.
+#include "sim/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using dynaplat::sim::Duration;
+using dynaplat::sim::EventId;
+using dynaplat::sim::InlineFunction;
+using dynaplat::sim::kMillisecond;
+using dynaplat::sim::kSecond;
+using dynaplat::sim::Random;
+using dynaplat::sim::Simulator;
+using dynaplat::sim::Time;
+using dynaplat::sim::TimerWheel;
+
+using Log = std::vector<std::pair<Time, int>>;
+
+TEST(TimerWheel, FiresAtExactInstantsNotSlotBoundaries) {
+  Simulator sim;
+  TimerWheel wheel(sim, {.granularity = kMillisecond, .slots = 8,
+                         .levels = 3});
+  Log log;
+  // Deliberately off-grid instants, including one far beyond level-1
+  // coverage (8ms * 8 = 64ms) so it must cascade down.
+  const Time instants[] = {137, 3 * kMillisecond + 41, 70 * kMillisecond + 9,
+                           250 * kMillisecond + 1};
+  int tag = 0;
+  for (Time t : instants) {
+    const int id = tag++;
+    wheel.schedule_at(t, [&log, &sim, id] { log.push_back({sim.now(), id}); });
+  }
+  sim.run_until(kSecond);
+  ASSERT_EQ(log.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(log[i].first, instants[i]) << "timer " << i;
+    EXPECT_EQ(log[i].second, i);
+  }
+  EXPECT_GT(wheel.cascaded(), 0u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, SameInstantFiresInInsertionOrderAndCoalesces) {
+  Simulator sim;
+  TimerWheel wheel(sim, {});
+  Log log;
+  const Time at = 5 * kMillisecond;
+  for (int i = 0; i < 100; ++i) {
+    wheel.schedule_at(at, [&log, &sim, i] { log.push_back({sim.now(), i}); });
+  }
+  sim.run_until(kSecond);
+  ASSERT_EQ(log.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(log[i].first, at);
+    EXPECT_EQ(log[i].second, i);
+  }
+  // The whole batch rode one kernel event.
+  EXPECT_EQ(wheel.instant_events(), 1u);
+  EXPECT_EQ(wheel.max_coalesced(), 100u);
+}
+
+TEST(TimerWheel, CancelIsGenerationChecked) {
+  Simulator sim;
+  TimerWheel wheel(sim, {});
+  int fired = 0;
+  auto id = wheel.schedule_at(2 * kMillisecond, [&fired] { ++fired; });
+  auto kept = wheel.schedule_at(3 * kMillisecond, [&fired] { ++fired; });
+  EXPECT_EQ(wheel.pending(), 2u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // double cancel no-ops
+  EXPECT_EQ(wheel.pending(), 1u);
+  sim.run_until(kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(wheel.cancel(kept));  // already fired
+  EXPECT_FALSE(wheel.cancel(TimerWheel::TimerId{}));
+}
+
+TEST(TimerWheel, CancelledSlotReuseInvalidatesStaleId) {
+  Simulator sim;
+  TimerWheel wheel(sim, {});
+  int fired = 0;
+  auto stale = wheel.schedule_at(kMillisecond, [&fired] { ++fired; });
+  wheel.cancel(stale);
+  sim.run_until(2 * kMillisecond);  // instant fires empty, slot reclaimed
+  auto fresh = wheel.schedule_at(10 * kMillisecond, [&fired] { ++fired; });
+  // The stale handle must not cancel the reused slot's new timer.
+  EXPECT_FALSE(wheel.cancel(stale));
+  sim.run_until(kSecond);
+  EXPECT_EQ(fired, 1);
+  (void)fresh;
+}
+
+TEST(TimerWheel, PeriodicReArmsAndCancelsFromOwnCallback) {
+  Simulator sim;
+  TimerWheel wheel(sim, {});
+  int fires = 0;
+  TimerWheel::TimerId id;
+  id = wheel.schedule_every(10 * kMillisecond, 25 * kMillisecond,
+                            [&fires, &wheel, &id] {
+                              if (++fires == 3) wheel.cancel(id);
+                            });
+  sim.run_until(kSecond);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, PeriodicSpanningCascadeKeepsExactPhase) {
+  Simulator sim;
+  TimerWheel wheel(sim, {.granularity = kMillisecond, .slots = 4,
+                         .levels = 3});
+  Log log;
+  // Period far beyond level-1 coverage (4ms * 4 = 16ms): every re-arm lands
+  // in a far slot and must cascade back to the exact phase instant.
+  wheel.schedule_every(7 * kMillisecond + 123, 50 * kMillisecond,
+                       [&log, &sim] { log.push_back({sim.now(), 0}); });
+  sim.run_until(kSecond);
+  ASSERT_GE(log.size(), 19u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].first,
+              7 * kMillisecond + 123 +
+                  static_cast<Time>(i) * 50 * kMillisecond);
+  }
+}
+
+TEST(TimerWheel, PastDueClampsToNow) {
+  Simulator sim;
+  sim.run_until(10 * kMillisecond);
+  TimerWheel wheel(sim, {});
+  Log log;
+  wheel.schedule_at(kMillisecond, [&log, &sim] { log.push_back({sim.now(), 0}); });
+  wheel.schedule_in(-5, [&log, &sim] { log.push_back({sim.now(), 1}); });
+  sim.run_until(kSecond);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].first, 10 * kMillisecond);
+  EXPECT_EQ(log[1].first, 10 * kMillisecond);
+}
+
+// Randomized workload driven twice — once on the kernel heap, once on the
+// wheel — must produce the identical (instant, tag) fire sequence. All
+// timers live in one population, so even exact-tie instants must order
+// identically (insertion sequence on both sides). Exercises one-shots out
+// to cascade range, chained arms from inside callbacks, immediate and
+// deferred cancels, and periodics cancelled mid-flight.
+template <typename Api>
+Log run_random_workload(Simulator& sim, Api& api) {
+  Log log;
+  auto rng = Random::stream(0xA11CE, 7);
+  std::vector<typename Api::Id> cancellable;
+  for (int i = 0; i < 400; ++i) {
+    const int tag = i;
+    const Time at = rng.uniform_int(0, 700 * kMillisecond);
+    if (i % 7 == 3) {
+      // Chained: the callback arms a follow-up whose delay is a pure
+      // function of the tag, so both arms derive the same instant.
+      api.at(at, [&log, &sim, &api, tag] {
+        log.push_back({sim.now(), tag});
+        auto follow = Random::stream(0xF0110, static_cast<std::uint64_t>(tag));
+        api.at(sim.now() + follow.uniform_int(1, 80 * kMillisecond),
+               [&log, &sim, tag] { log.push_back({sim.now(), 10'000 + tag}); });
+      });
+    } else {
+      cancellable.push_back(api.at(
+          at, [&log, &sim, tag] { log.push_back({sim.now(), tag}); }));
+    }
+  }
+  // Immediate cancels of a deterministic subset.
+  for (std::size_t i = 0; i < cancellable.size(); i += 5) {
+    api.cancel(cancellable[i]);
+  }
+  // A few periodics cancelled from their own callbacks after k fires.
+  static constexpr int kPeriodics = 8;
+  auto counts = std::make_shared<std::array<int, kPeriodics>>();
+  counts->fill(0);
+  auto ids = std::make_shared<std::array<typename Api::Id, kPeriodics>>();
+  for (int p = 0; p < kPeriodics; ++p) {
+    const Time first = rng.uniform_int(0, 50 * kMillisecond);
+    const Duration period = rng.uniform_int(3, 40) * kMillisecond + p;
+    (*ids)[p] = api.every(first, period,
+                          [&log, &sim, &api, counts, ids, p] {
+                            log.push_back({sim.now(), 20'000 + p});
+                            if (++(*counts)[p] == 4 + p % 3) {
+                              api.cancel((*ids)[p]);
+                            }
+                          });
+  }
+  sim.run_until(2 * kSecond);
+  return log;
+}
+
+struct HeapApi {
+  Simulator& sim;
+  using Id = EventId;
+  Id at(Time t, InlineFunction fn) { return sim.schedule_at(t, std::move(fn)); }
+  Id every(Time t, Duration p, InlineFunction fn) {
+    return sim.schedule_every(t, p, std::move(fn));
+  }
+  bool cancel(Id id) { return sim.cancel(id); }
+};
+
+struct WheelApi {
+  TimerWheel& wheel;
+  using Id = TimerWheel::TimerId;
+  Id at(Time t, InlineFunction fn) {
+    return wheel.schedule_at(t, std::move(fn));
+  }
+  Id every(Time t, Duration p, InlineFunction fn) {
+    return wheel.schedule_every(t, p, std::move(fn));
+  }
+  bool cancel(Id id) { return wheel.cancel(id); }
+};
+
+TEST(TimerWheel, RandomWorkloadMatchesHeapFireSequence) {
+  Log heap_log;
+  {
+    Simulator sim;
+    HeapApi api{sim};
+    heap_log = run_random_workload(sim, api);
+  }
+  Log wheel_log;
+  {
+    Simulator sim;
+    TimerWheel wheel(sim, {.granularity = kMillisecond, .slots = 32,
+                           .levels = 3});
+    WheelApi api{wheel};
+    wheel_log = run_random_workload(sim, api);
+  }
+  ASSERT_FALSE(heap_log.empty());
+  ASSERT_EQ(heap_log.size(), wheel_log.size());
+  for (std::size_t i = 0; i < heap_log.size(); ++i) {
+    EXPECT_EQ(heap_log[i], wheel_log[i]) << "divergence at fire " << i;
+  }
+}
+
+TEST(TimerWheel, DestructionCancelsKernelEvents) {
+  Simulator sim;
+  int fired = 0;
+  {
+    TimerWheel wheel(sim, {});
+    wheel.schedule_at(5 * kMillisecond, [&fired] { ++fired; });
+    wheel.schedule_every(kMillisecond, kMillisecond, [&fired] { ++fired; });
+  }
+  // No wheel left: its instant events and cascade recurrences must be gone.
+  sim.run_until(kSecond);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+}  // namespace
